@@ -1,0 +1,79 @@
+// Command gridbench regenerates the paper's evaluation figures.
+//
+// Every table and figure of the evaluation section maps to an experiment:
+//
+//	fig3   Grid5000 RTT matrix (input data, encoded verbatim)
+//	fig4a  obtaining time vs rho (original Naimi vs compositions)
+//	fig4b  inter-cluster messages per CS vs rho
+//	fig5a  obtaining time standard deviation vs rho
+//	fig5b  obtaining time relative standard deviation vs rho
+//	fig6a  intra algorithm choice: obtaining time
+//	fig6b  intra algorithm choice: standard deviation
+//	scale  section 4.7 scalability discussion
+//	adaptive  section 6 future work: adaptive inter algorithm
+//
+// Usage:
+//
+//	gridbench -experiment all -scale paper
+//	gridbench -experiment fig4a -scale quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gridmutex"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "figure to regenerate, or 'all' (one of: all "+strings.Join(gridmutex.Figures(), " ")+")")
+	scaleName := flag.String("scale", "paper", "experiment scale: 'paper' (9 Grid5000 clusters, N=180, 100 CS, 10 reps) or 'quick'")
+	quiet := flag.Bool("q", false, "suppress per-cell progress output")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, f := range gridmutex.Figures() {
+			d, _ := gridmutex.DescribeFigure(f)
+			fmt.Printf("%-10s %s\n", f, d)
+		}
+		return
+	}
+
+	var scale gridmutex.ExperimentScale
+	switch *scaleName {
+	case "paper":
+		scale = gridmutex.ScalePaper
+	case "quick":
+		scale = gridmutex.ScaleQuick
+	default:
+		fmt.Fprintf(os.Stderr, "gridbench: unknown scale %q (want paper or quick)\n", *scaleName)
+		os.Exit(2)
+	}
+
+	progress := func(line string) { fmt.Fprintln(os.Stderr, line) }
+	if *quiet {
+		progress = nil
+	}
+
+	if *experiment == "all" {
+		tabs, err := gridmutex.ReproduceAll(scale, progress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gridbench:", err)
+			os.Exit(1)
+		}
+		for _, f := range gridmutex.Figures() {
+			fmt.Println(tabs[f])
+		}
+		return
+	}
+
+	tab, err := gridmutex.ReproduceFigure(*experiment, scale, progress)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gridbench:", err)
+		os.Exit(1)
+	}
+	fmt.Println(tab)
+}

@@ -1,0 +1,57 @@
+// UDPCluster: the composed lock over real sockets.
+//
+// The paper's implementation is C over UDP; this example runs the Go
+// deployment the same way — every process owns a loopback UDP socket and
+// all algorithm traffic is binary-encoded datagrams — and uses the lock to
+// serialize appends to a shared log.
+//
+// Run with: go run ./examples/udpcluster
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+
+	"gridmutex"
+)
+
+func main() {
+	grid, err := gridmutex.New(gridmutex.Config{
+		Clusters:       3,
+		AppsPerCluster: 3,
+		Intra:          "suzuki", // broadcast inside clusters (cheap on a LAN)
+		Inter:          "naimi",  // tree among coordinators
+		Transport:      gridmutex.UDP,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer grid.Close()
+
+	var journal []string // protected only by the distributed lock
+	var wg sync.WaitGroup
+	for i := 0; i < grid.Apps(); i++ {
+		i := i
+		m := grid.Mutex(i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 5; k++ {
+				if err := m.Lock(context.Background()); err != nil {
+					log.Fatal(err)
+				}
+				journal = append(journal, fmt.Sprintf("app %d (cluster %d) entry %d",
+					i, grid.ClusterOf(i), k))
+				m.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	fmt.Printf("journal has %d entries, appended race-free over UDP; last five:\n", len(journal))
+	for _, line := range journal[len(journal)-5:] {
+		fmt.Println(" ", line)
+	}
+}

@@ -1,0 +1,183 @@
+package gridmutex
+
+import (
+	"fmt"
+	"sort"
+
+	"gridmutex/internal/harness"
+)
+
+// ExperimentScale selects the size of a figure regeneration.
+type ExperimentScale uint8
+
+const (
+	// ScaleQuick runs a 3x4 synthetic grid — seconds, same qualitative
+	// shapes.
+	ScaleQuick ExperimentScale = iota
+	// ScalePaper runs the paper's dimensions: 9 Grid'5000 clusters, 180
+	// application processes, 100 CS each, 10 repetitions per point.
+	ScalePaper
+)
+
+func (s ExperimentScale) scale() harness.Scale {
+	if s == ScalePaper {
+		return harness.PaperScale()
+	}
+	return harness.QuickScale()
+}
+
+// figureSpec wires one figure name to the experiment producing it.
+type figureSpec struct {
+	describe string
+	run      func(scale harness.Scale, progress func(string)) (string, error)
+}
+
+var figureSpecs = map[string]figureSpec{
+	"fig3": {
+		describe: "Grid5000 RTT latency matrix (input data, encoded verbatim)",
+		run: func(harness.Scale, func(string)) (string, error) {
+			return harness.Figure3Table(), nil
+		},
+	},
+	"fig4a": {describe: "obtaining time vs rho: original Naimi vs compositions",
+		run: compositionFigure(harness.ObtainingMean, "Figure 4(a)")},
+	"fig4b": {describe: "inter-cluster messages per CS vs rho",
+		run: compositionFigure(harness.InterMsgs, "Figure 4(b)")},
+	"fig5a": {describe: "obtaining time standard deviation vs rho",
+		run: compositionFigure(harness.ObtainingStd, "Figure 5(a)")},
+	"fig5b": {describe: "obtaining time relative deviation vs rho",
+		run: compositionFigure(harness.ObtainingRelStd, "Figure 5(b)")},
+	"fig6a": {describe: "intra algorithm choice: obtaining time vs rho",
+		run: intraFigure(harness.ObtainingMean, "Figure 6(a)")},
+	"fig6b": {describe: "intra algorithm choice: standard deviation vs rho",
+		run: intraFigure(harness.ObtainingStd, "Figure 6(b)")},
+	"scale": {describe: "section 4.7 scalability: messages per CS vs cluster count",
+		run: func(scale harness.Scale, progress func(string)) (string, error) {
+			clusters := []int{2, 3, 6, 9, 12}
+			if scale.CSPerProcess >= 100 { // paper scale: keep runtime sane
+				clusters = []int{3, 6, 9, 12, 15}
+			}
+			res, err := harness.RunScalability(harness.ScalabilitySystems(), scale, clusters, progress)
+			if err != nil {
+				return "", err
+			}
+			return res.Table("Section 4.7"), nil
+		}},
+	"locality": {describe: "locality analysis: per-cluster obtaining time under a hotspot workload",
+		run: func(scale harness.Scale, progress func(string)) (string, error) {
+			n := float64(scale.N())
+			res, err := harness.RunLocality(harness.LocalitySystems(), scale, 8*n, 0, 8, progress)
+			if err != nil {
+				return "", err
+			}
+			return res.LocalityTable("Locality under an 8x hot cluster 0", 0), nil
+		}},
+	"bias": {describe: "related-work extension (Bertier et al.): serve local requests before inter handoffs",
+		run: func(scale harness.Scale, progress func(string)) (string, error) {
+			// Two rhos spanning saturated and sparse regimes.
+			n := float64(scale.N())
+			scale.Rhos = []float64{n / 2, 4 * n}
+			res, err := harness.Run(harness.BiasSystems(), scale, progress)
+			if err != nil {
+				return "", err
+			}
+			return res.BiasTable("Local bias ablation"), nil
+		}},
+	"adaptive": {describe: "section 6 extension: adaptive inter algorithm on a phased workload",
+		run: func(scale harness.Scale, progress func(string)) (string, error) {
+			scale.Phases = harness.AdaptivePhases(scale)
+			res, err := harness.RunPhased(harness.AdaptiveSystems(), scale, progress)
+			if err != nil {
+				return "", err
+			}
+			return res.PhasedTable("Adaptive composition"), nil
+		}},
+}
+
+func compositionFigure(m harness.Metric, title string) func(harness.Scale, func(string)) (string, error) {
+	return func(scale harness.Scale, progress func(string)) (string, error) {
+		res, err := harness.Run(harness.CompositionSystems(), scale, progress)
+		if err != nil {
+			return "", err
+		}
+		return tableAndChart(res, m, title), nil
+	}
+}
+
+func intraFigure(m harness.Metric, title string) func(harness.Scale, func(string)) (string, error) {
+	return func(scale harness.Scale, progress func(string)) (string, error) {
+		res, err := harness.Run(harness.IntraSystems(), scale, progress)
+		if err != nil {
+			return "", err
+		}
+		return tableAndChart(res, m, title), nil
+	}
+}
+
+// tableAndChart renders the numeric table followed by the ASCII plot the
+// paper's figures correspond to.
+func tableAndChart(res *harness.Result, m harness.Metric, title string) string {
+	return res.Table(m, title) + "\n" + res.Chart(m, title)
+}
+
+// Figures lists the regenerable figure names.
+func Figures() []string {
+	out := make([]string, 0, len(figureSpecs))
+	for name := range figureSpecs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DescribeFigure returns a one-line description of a figure name.
+func DescribeFigure(name string) (string, error) {
+	spec, ok := figureSpecs[name]
+	if !ok {
+		return "", fmt.Errorf("gridmutex: unknown figure %q (have %v)", name, Figures())
+	}
+	return spec.describe, nil
+}
+
+// ReproduceFigure regenerates one of the paper's figures as a text table.
+// progress, when non-nil, receives a line per completed experiment cell.
+func ReproduceFigure(name string, scale ExperimentScale, progress func(string)) (string, error) {
+	spec, ok := figureSpecs[name]
+	if !ok {
+		return "", fmt.Errorf("gridmutex: unknown figure %q (have %v)", name, Figures())
+	}
+	return spec.run(scale.scale(), progress)
+}
+
+// ReproduceAll regenerates every figure, sharing the underlying experiment
+// runs between figures that plot different metrics of the same data (4a/4b/
+// 5a/5b come from one run; 6a/6b from another).
+func ReproduceAll(scale ExperimentScale, progress func(string)) (map[string]string, error) {
+	s := scale.scale()
+	out := map[string]string{"fig3": harness.Figure3Table()}
+
+	comp, err := harness.Run(harness.CompositionSystems(), s, progress)
+	if err != nil {
+		return nil, fmt.Errorf("gridmutex: composition experiment: %w", err)
+	}
+	out["fig4a"] = tableAndChart(comp, harness.ObtainingMean, "Figure 4(a)")
+	out["fig4b"] = tableAndChart(comp, harness.InterMsgs, "Figure 4(b)")
+	out["fig5a"] = tableAndChart(comp, harness.ObtainingStd, "Figure 5(a)")
+	out["fig5b"] = tableAndChart(comp, harness.ObtainingRelStd, "Figure 5(b)")
+
+	intra, err := harness.Run(harness.IntraSystems(), s, progress)
+	if err != nil {
+		return nil, fmt.Errorf("gridmutex: intra experiment: %w", err)
+	}
+	out["fig6a"] = tableAndChart(intra, harness.ObtainingMean, "Figure 6(a)")
+	out["fig6b"] = tableAndChart(intra, harness.ObtainingStd, "Figure 6(b)")
+
+	for _, name := range []string{"scale", "adaptive", "bias", "locality"} {
+		tab, err := figureSpecs[name].run(s, progress)
+		if err != nil {
+			return nil, fmt.Errorf("gridmutex: %s experiment: %w", name, err)
+		}
+		out[name] = tab
+	}
+	return out, nil
+}

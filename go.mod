@@ -1,0 +1,3 @@
+module gridmutex
+
+go 1.22

@@ -1,0 +1,152 @@
+package algotest
+
+import (
+	"fmt"
+
+	"gridmutex/internal/mutex"
+)
+
+// Sent is a recorded message transmission.
+type Sent struct {
+	From, To mutex.ID
+	Msg      mutex.Message
+}
+
+// World is a hand-stepped execution environment for white-box protocol
+// tests: every Send is queued instead of delivered, and tests choose when
+// (and in which order) messages and local callbacks run. This makes
+// adversarial interleavings — crossing messages, delayed grants —
+// constructible deterministically.
+type World struct {
+	instances map[mutex.ID]mutex.Instance
+	inflight  []Sent
+	locals    []func()
+	log       []Sent // every send ever made, for assertions
+}
+
+// NewWorld returns an empty world.
+func NewWorld() *World {
+	return &World{instances: make(map[mutex.ID]mutex.Instance)}
+}
+
+// Env returns the mutex.Env to configure an instance with, bound to self.
+func (w *World) Env(self mutex.ID) mutex.Env {
+	return &worldEnv{w: w, self: self}
+}
+
+// Add registers a constructed instance under its ID.
+func (w *World) Add(id mutex.ID, inst mutex.Instance) {
+	if _, dup := w.instances[id]; dup {
+		panic(fmt.Sprintf("algotest: instance %d added twice", id))
+	}
+	w.instances[id] = inst
+}
+
+// Build constructs and registers an instance for every listed member with
+// the shared holder, returning them in member order.
+func (w *World) Build(factory mutex.Factory, members []mutex.ID, holder mutex.ID, cb func(self mutex.ID) mutex.Callbacks) ([]mutex.Instance, error) {
+	out := make([]mutex.Instance, len(members))
+	for i, id := range members {
+		var cbs mutex.Callbacks
+		if cb != nil {
+			cbs = cb(id)
+		}
+		inst, err := factory(mutex.Config{
+			Self: id, Members: members, Holder: holder,
+			Env: w.Env(id), Callbacks: cbs,
+		})
+		if err != nil {
+			return nil, err
+		}
+		w.Add(id, inst)
+		out[i] = inst
+	}
+	return out, nil
+}
+
+type worldEnv struct {
+	w    *World
+	self mutex.ID
+}
+
+func (e *worldEnv) Send(to mutex.ID, m mutex.Message) {
+	s := Sent{From: e.self, To: to, Msg: m}
+	e.w.inflight = append(e.w.inflight, s)
+	e.w.log = append(e.w.log, s)
+}
+
+func (e *worldEnv) Local(f func()) { e.w.locals = append(e.w.locals, f) }
+
+// Settle runs queued local callbacks (including ones queued while
+// settling) and returns how many ran.
+func (w *World) Settle() int {
+	n := 0
+	for len(w.locals) > 0 {
+		f := w.locals[0]
+		w.locals = w.locals[1:]
+		f()
+		n++
+	}
+	return n
+}
+
+// Inflight returns the currently undelivered messages in send order.
+func (w *World) Inflight() []Sent { return append([]Sent(nil), w.inflight...) }
+
+// Log returns every message sent since the world was created.
+func (w *World) Log() []Sent { return append([]Sent(nil), w.log...) }
+
+// DeliverNext pops the oldest in-flight message and delivers it, settling
+// local callbacks first and afterwards. It reports whether a message was
+// delivered.
+func (w *World) DeliverNext() bool {
+	w.Settle()
+	if len(w.inflight) == 0 {
+		return false
+	}
+	s := w.inflight[0]
+	w.inflight = w.inflight[1:]
+	w.deliver(s)
+	w.Settle()
+	return true
+}
+
+// DeliverAt pops the in-flight message at index i (into the current
+// Inflight order) and delivers it — the hook for building reorderings.
+func (w *World) DeliverAt(i int) {
+	w.Settle()
+	s := w.inflight[i]
+	w.inflight = append(w.inflight[:i], w.inflight[i+1:]...)
+	w.deliver(s)
+	w.Settle()
+}
+
+func (w *World) deliver(s Sent) {
+	inst, ok := w.instances[s.To]
+	if !ok {
+		panic(fmt.Sprintf("algotest: message %s to unknown instance %d", s.Msg.Kind(), s.To))
+	}
+	inst.Deliver(s.From, s.Msg)
+}
+
+// Drain delivers messages FIFO until nothing is in flight, with a step cap
+// to catch livelocks.
+func (w *World) Drain(cap int) error {
+	for i := 0; ; i++ {
+		if i > cap {
+			return fmt.Errorf("algotest: still draining after %d deliveries", cap)
+		}
+		if !w.DeliverNext() {
+			return nil
+		}
+	}
+}
+
+// Kinds summarizes the log as a list of message kind strings.
+func (w *World) Kinds() []string {
+	out := make([]string, len(w.log))
+	for i, s := range w.log {
+		out[i] = s.Msg.Kind()
+	}
+	return out
+}

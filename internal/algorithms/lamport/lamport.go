@@ -1,0 +1,223 @@
+// Package lamport implements Lamport's mutual exclusion algorithm
+// (Lamport 1978), the permission-based ancestor the paper's introduction
+// cites: requests are stamped with logical clocks, broadcast, and served
+// in global timestamp order.
+//
+// Every participant keeps a queue of outstanding requests ordered by
+// (timestamp, id). A requester broadcasts its timestamped request and
+// enters the critical section once (a) its request heads its local queue
+// and (b) it has received a message with a later timestamp from every
+// other participant (replies guarantee this). Releases are broadcast and
+// remove the corresponding queue entry everywhere. Each critical section
+// costs exactly 3(N-1) messages.
+//
+// The algorithm requires FIFO channels (a release must not overtake its
+// own request); every fabric in this repository provides per-link FIFO.
+// As with Ricart-Agrawala, Config.Holder is accepted but ignored — there
+// is no token to place.
+package lamport
+
+import (
+	"fmt"
+	"sort"
+
+	"gridmutex/internal/mutex"
+)
+
+// Request announces a critical section request with the sender's clock.
+type Request struct {
+	Clock int64
+}
+
+// Kind implements mutex.Message.
+func (Request) Kind() string { return "lamport.request" }
+
+// Size implements mutex.Message.
+func (Request) Size() int { return 24 }
+
+// Reply acknowledges a request with a later timestamp.
+type Reply struct {
+	Clock int64
+}
+
+// Kind implements mutex.Message.
+func (Reply) Kind() string { return "lamport.reply" }
+
+// Size implements mutex.Message.
+func (Reply) Size() int { return 24 }
+
+// Release withdraws the sender's request from every queue.
+type Release struct {
+	Clock int64
+}
+
+// Kind implements mutex.Message.
+func (Release) Kind() string { return "lamport.release" }
+
+// Size implements mutex.Message.
+func (Release) Size() int { return 24 }
+
+// entry is one queued request.
+type entry struct {
+	ts int64
+	id mutex.ID
+}
+
+// before implements the (timestamp, id) total order.
+func (e entry) before(o entry) bool {
+	if e.ts != o.ts {
+		return e.ts < o.ts
+	}
+	return e.id < o.id
+}
+
+type node struct {
+	cfg      mutex.Config
+	clock    int64
+	state    mutex.State
+	myTS     int64
+	queue    []entry
+	lastSeen []int64 // highest clock received from each member index
+}
+
+// New builds a Lamport instance.
+func New(cfg mutex.Config) (mutex.Instance, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &node{cfg: cfg, lastSeen: make([]int64, len(cfg.Members))}, nil
+}
+
+func (n *node) Request() {
+	if n.state != mutex.NoReq {
+		panic(fmt.Sprintf("lamport: Request in state %v", n.state))
+	}
+	n.state = mutex.Req
+	n.clock++
+	n.myTS = n.clock
+	n.insert(entry{ts: n.myTS, id: n.cfg.Self})
+	req := Request{Clock: n.myTS}
+	for _, m := range n.cfg.Members {
+		if m != n.cfg.Self {
+			n.cfg.Env.Send(m, req)
+		}
+	}
+	n.maybeEnter()
+}
+
+func (n *node) Release() {
+	if n.state != mutex.InCS {
+		panic(fmt.Sprintf("lamport: Release in state %v", n.state))
+	}
+	n.state = mutex.NoReq
+	n.remove(n.cfg.Self)
+	n.clock++
+	rel := Release{Clock: n.clock}
+	for _, m := range n.cfg.Members {
+		if m != n.cfg.Self {
+			n.cfg.Env.Send(m, rel)
+		}
+	}
+}
+
+func (n *node) Deliver(from mutex.ID, m mutex.Message) {
+	fi := n.cfg.Index(from)
+	if fi < 0 {
+		panic(fmt.Sprintf("lamport: message from non-member %d", from))
+	}
+	switch msg := m.(type) {
+	case Request:
+		n.observe(fi, msg.Clock)
+		n.insert(entry{ts: msg.Clock, id: from})
+		if n.state == mutex.InCS {
+			n.firePending()
+		}
+		n.clock++
+		n.cfg.Env.Send(from, Reply{Clock: n.clock})
+	case Reply:
+		n.observe(fi, msg.Clock)
+	case Release:
+		n.observe(fi, msg.Clock)
+		n.remove(from)
+	default:
+		panic(fmt.Sprintf("lamport: unexpected message %T", m))
+	}
+	n.maybeEnter()
+}
+
+// observe advances the clock and the per-sender watermark.
+func (n *node) observe(fi int, ts int64) {
+	if ts > n.clock {
+		n.clock = ts
+	}
+	if ts > n.lastSeen[fi] {
+		n.lastSeen[fi] = ts
+	}
+}
+
+func (n *node) insert(e entry) {
+	i := sort.Search(len(n.queue), func(i int) bool { return e.before(n.queue[i]) })
+	n.queue = append(n.queue, entry{})
+	copy(n.queue[i+1:], n.queue[i:])
+	n.queue[i] = e
+}
+
+func (n *node) remove(id mutex.ID) {
+	for i, e := range n.queue {
+		if e.id == id {
+			n.queue = append(n.queue[:i], n.queue[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("lamport: release for %d with no queued request", id))
+}
+
+// maybeEnter applies Lamport's entry condition.
+func (n *node) maybeEnter() {
+	if n.state != mutex.Req {
+		return
+	}
+	if len(n.queue) == 0 || n.queue[0].id != n.cfg.Self {
+		return
+	}
+	for i, m := range n.cfg.Members {
+		if m == n.cfg.Self {
+			continue
+		}
+		if n.lastSeen[i] <= n.myTS {
+			return
+		}
+	}
+	n.state = mutex.InCS
+	if f := n.cfg.Callbacks.OnAcquire; f != nil {
+		n.cfg.Env.Local(f)
+	}
+}
+
+func (n *node) firePending() {
+	if f := n.cfg.Callbacks.OnPending; f != nil {
+		n.cfg.Env.Local(f)
+	}
+}
+
+// HasPending reports queued requests that this participant's occupancy of
+// the critical section is blocking. Outside the critical section other
+// queue entries are not blocked by this node, so it reports false.
+func (n *node) HasPending() bool {
+	if n.state != mutex.InCS {
+		return false
+	}
+	for _, e := range n.queue {
+		if e.id != n.cfg.Self {
+			return true
+		}
+	}
+	return false
+}
+
+// HoldsToken reports whether this participant could enter (or is in) the
+// critical section without communicating; like all permission-based
+// algorithms, only the occupant qualifies.
+func (n *node) HoldsToken() bool { return n.state == mutex.InCS }
+
+func (n *node) State() mutex.State { return n.state }

@@ -1,0 +1,202 @@
+package lamport
+
+import (
+	"testing"
+
+	"gridmutex/internal/algorithms/algotest"
+	"gridmutex/internal/mutex"
+)
+
+func build(t *testing.T, w *algotest.World, n int) []mutex.Instance {
+	t.Helper()
+	members := make([]mutex.ID, n)
+	for i := range members {
+		members[i] = mutex.ID(i)
+	}
+	insts, err := w.Build(New, members, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return insts
+}
+
+// TestExactMessageComplexity: every critical section costs exactly 3(N-1)
+// messages — request, reply and release broadcast rounds.
+func TestExactMessageComplexity(t *testing.T) {
+	w := algotest.NewWorld()
+	m := build(t, w, 5)
+	m[2].Request()
+	if err := w.Drain(50); err != nil {
+		t.Fatal(err)
+	}
+	if m[2].State() != mutex.InCS {
+		t.Fatalf("state %v after reply round", m[2].State())
+	}
+	// 4 requests + 4 replies so far.
+	if got := len(w.Log()); got != 8 {
+		t.Fatalf("%d messages before release, want 8: %v", got, w.Kinds())
+	}
+	m[2].Release()
+	if err := w.Drain(50); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(w.Log()); got != 12 {
+		t.Fatalf("%d messages per CS, want 3(N-1)=12: %v", got, w.Kinds())
+	}
+}
+
+// TestTimestampOrder: concurrent requests are served in (timestamp, id)
+// order, so the lower ID wins a clock tie.
+func TestTimestampOrder(t *testing.T) {
+	w := algotest.NewWorld()
+	order := []mutex.ID{}
+	members := []mutex.ID{0, 1, 2}
+	insts, err := w.Build(New, members, 0, func(self mutex.ID) mutex.Callbacks {
+		return mutex.Callbacks{OnAcquire: func() { order = append(order, self) }}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All three request with clock 1, before any delivery.
+	insts[2].Request()
+	insts[0].Request()
+	insts[1].Request()
+	for {
+		if err := w.Drain(500); err != nil {
+			t.Fatal(err)
+		}
+		progressed := false
+		for _, in := range insts {
+			if in.State() == mutex.InCS {
+				in.Release()
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	want := []mutex.ID{0, 1, 2}
+	if len(order) != 3 {
+		t.Fatalf("grant order %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("grant order %v, want ID tie-break %v", order, want)
+		}
+	}
+}
+
+// TestQueueHeadAloneInsufficient: heading the queue without later
+// timestamps from everyone must not admit entry (the classic condition
+// (b)).
+func TestQueueHeadAloneInsufficient(t *testing.T) {
+	w := algotest.NewWorld()
+	m := build(t, w, 3)
+	m[0].Request()
+	// Deliver 0's requests to 1 and 2, but hold their replies back.
+	w.DeliverAt(0)
+	w.DeliverAt(0)
+	if m[0].State() != mutex.Req {
+		t.Fatalf("entered CS without replies: %v", m[0].State())
+	}
+	// Release one reply: still insufficient.
+	w.DeliverNext()
+	if m[0].State() != mutex.Req {
+		t.Fatal("entered CS with one of two replies")
+	}
+	w.DeliverNext()
+	w.Settle()
+	if m[0].State() != mutex.InCS {
+		t.Fatal("did not enter CS once all replies arrived")
+	}
+}
+
+func TestOnPendingWhileInCS(t *testing.T) {
+	w := algotest.NewWorld()
+	pendings := 0
+	members := []mutex.ID{0, 1}
+	insts, err := w.Build(New, members, 0, func(self mutex.ID) mutex.Callbacks {
+		if self != 0 {
+			return mutex.Callbacks{}
+		}
+		return mutex.Callbacks{OnPending: func() { pendings++ }}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts[0].Request()
+	if err := w.Drain(20); err != nil {
+		t.Fatal(err)
+	}
+	insts[1].Request()
+	if err := w.Drain(20); err != nil {
+		t.Fatal(err)
+	}
+	if pendings != 1 {
+		t.Fatalf("OnPending fired %d times, want 1", pendings)
+	}
+	if !insts[0].HasPending() {
+		t.Fatal("occupant does not report the queued request")
+	}
+	insts[0].Release()
+	if err := w.Drain(20); err != nil {
+		t.Fatal(err)
+	}
+	if insts[1].State() != mutex.InCS {
+		t.Fatal("queued requester not admitted after release")
+	}
+	if insts[0].HasPending() {
+		t.Fatal("HasPending true outside the critical section")
+	}
+}
+
+func TestSingleMember(t *testing.T) {
+	w := algotest.NewWorld()
+	m := build(t, w, 1)
+	m[0].Request()
+	w.Settle()
+	if m[0].State() != mutex.InCS {
+		t.Fatal("single member did not self-admit")
+	}
+	m[0].Release()
+	if len(w.Log()) != 0 {
+		t.Fatal("single member sent messages")
+	}
+}
+
+func TestProtocolPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(m []mutex.Instance)
+	}{
+		{"double request", func(m []mutex.Instance) { m[1].Request(); m[1].Request() }},
+		{"release without CS", func(m []mutex.Instance) { m[1].Release() }},
+		{"release without request", func(m []mutex.Instance) { m[1].Deliver(0, Release{Clock: 1}) }},
+		{"non-member", func(m []mutex.Instance) { m[1].Deliver(99, Request{Clock: 1}) }},
+		{"unexpected message", func(m []mutex.Instance) { m[1].Deliver(0, bogus{}) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := algotest.NewWorld()
+			m := build(t, w, 3)
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", tc.name)
+				}
+			}()
+			tc.run(m)
+		})
+	}
+}
+
+type bogus struct{}
+
+func (bogus) Kind() string { return "bogus" }
+func (bogus) Size() int    { return 0 }
+
+func TestNewRejectsInvalidConfig(t *testing.T) {
+	if _, err := New(mutex.Config{}); err == nil {
+		t.Fatal("New accepted an invalid config")
+	}
+}

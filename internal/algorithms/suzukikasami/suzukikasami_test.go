@@ -1,0 +1,365 @@
+package suzukikasami
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gridmutex/internal/algorithms/algotest"
+	"gridmutex/internal/mutex"
+)
+
+func build(t *testing.T, w *algotest.World, n int, holder mutex.ID) []mutex.Instance {
+	t.Helper()
+	members := make([]mutex.ID, n)
+	for i := range members {
+		members[i] = mutex.ID(i)
+	}
+	insts, err := w.Build(New, members, holder, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return insts
+}
+
+func TestRequestBroadcastsToAllOthers(t *testing.T) {
+	w := algotest.NewWorld()
+	m := build(t, w, 5, 0)
+	m[3].Request()
+	inflight := w.Inflight()
+	if len(inflight) != 4 {
+		t.Fatalf("broadcast %d messages, want 4", len(inflight))
+	}
+	targets := map[mutex.ID]bool{}
+	for _, s := range inflight {
+		if s.From != 3 {
+			t.Errorf("request from %d, want 3", s.From)
+		}
+		if s.Msg.(Request).Seq != 1 {
+			t.Errorf("first request seq = %d, want 1", s.Msg.(Request).Seq)
+		}
+		targets[s.To] = true
+	}
+	for _, id := range []mutex.ID{0, 1, 2, 4} {
+		if !targets[id] {
+			t.Errorf("no request sent to %d", id)
+		}
+	}
+	if err := w.Drain(20); err != nil {
+		t.Fatal(err)
+	}
+	if m[3].State() != mutex.InCS {
+		t.Fatal("requester not in CS")
+	}
+}
+
+// TestNMessagesPerCS: a CS whose token must move costs exactly N messages
+// (N-1 requests plus the token), per section 2.3.
+func TestNMessagesPerCS(t *testing.T) {
+	w := algotest.NewWorld()
+	m := build(t, w, 7, 0)
+	m[4].Request()
+	if err := w.Drain(30); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(w.Log()); got != 7 {
+		t.Fatalf("%d messages, want 7: %v", got, w.Kinds())
+	}
+	_ = m
+}
+
+func TestHolderReentryIsFree(t *testing.T) {
+	w := algotest.NewWorld()
+	m := build(t, w, 4, 2)
+	m[2].Request()
+	w.Settle()
+	if m[2].State() != mutex.InCS {
+		t.Fatal("holder could not re-enter")
+	}
+	m[2].Release()
+	if len(w.Log()) != 0 {
+		t.Fatalf("holder re-entry sent %d messages", len(w.Log()))
+	}
+}
+
+// TestQueueIsIndexOrdered documents the arrival-blind queue construction
+// the paper's section 4.6 blames for Suzuki's weaker regularity: requests
+// are appended in member-index order at release, not in arrival order.
+func TestQueueIsIndexOrdered(t *testing.T) {
+	w := algotest.NewWorld()
+	order := []mutex.ID{}
+	members := []mutex.ID{0, 1, 2, 3}
+	insts, err := w.Build(New, members, 0, func(self mutex.ID) mutex.Callbacks {
+		return mutex.Callbacks{OnAcquire: func() { order = append(order, self) }}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts[0].Request()
+	w.Settle() // holder enters CS
+	// Requests arrive in order 3, then 1, while 0 is inside the CS.
+	insts[3].Request()
+	insts[1].Request()
+	for w.DeliverNext() {
+	}
+	insts[0].Release()
+	if err := w.Drain(40); err != nil {
+		t.Fatal(err)
+	}
+	insts[1].Release()
+	if err := w.Drain(40); err != nil {
+		t.Fatal(err)
+	}
+	insts[3].Release()
+	if err := w.Drain(40); err != nil {
+		t.Fatal(err)
+	}
+	want := []mutex.ID{0, 1, 3} // index order, despite 3 asking first
+	if len(order) != len(want) {
+		t.Fatalf("grant order %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("grant order %v, want %v (arrival-blind index scan)", order, want)
+		}
+	}
+}
+
+// TestStaleRequestAtHolder replays an already-satisfied request at the
+// holder and checks it is not granted twice.
+func TestStaleRequestAtHolder(t *testing.T) {
+	w := algotest.NewWorld()
+	m := build(t, w, 3, 0)
+	m[1].Request()
+	if err := w.Drain(20); err != nil {
+		t.Fatal(err)
+	}
+	m[1].Release()
+	if err := w.Drain(20); err != nil {
+		t.Fatal(err)
+	}
+	// Token is idle at node 1 now. Replay node 1's satisfied request at
+	// node 0 — node 0 has no token, must only update RN.
+	before := len(w.Log())
+	m[0].Deliver(1, Request{Seq: 1})
+	if err := w.Drain(20); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(w.Log()) - before; got != 0 {
+		t.Fatalf("stale request caused %d messages", got)
+	}
+	// And replay at the idle holder itself: seq 1 == LN[1], not LN[1]+1,
+	// so no grant.
+	m[1].Deliver(0, Request{Seq: 0})
+	if err := w.Drain(20); err != nil {
+		t.Fatal(err)
+	}
+	if !m[1].HoldsToken() {
+		t.Fatal("idle holder gave the token away on a stale request")
+	}
+}
+
+func TestOnPendingWhileInCS(t *testing.T) {
+	w := algotest.NewWorld()
+	pendings := 0
+	members := []mutex.ID{0, 1}
+	insts, err := w.Build(New, members, 0, func(self mutex.ID) mutex.Callbacks {
+		if self != 0 {
+			return mutex.Callbacks{}
+		}
+		return mutex.Callbacks{OnPending: func() { pendings++ }}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts[0].Request()
+	w.Settle()
+	insts[1].Request()
+	if err := w.Drain(10); err != nil {
+		t.Fatal(err)
+	}
+	if pendings != 1 {
+		t.Fatalf("OnPending fired %d times, want 1", pendings)
+	}
+	if !insts[0].HasPending() {
+		t.Fatal("holder does not report pending request")
+	}
+}
+
+func TestTokenSizeGrowsWithMembership(t *testing.T) {
+	small := Token{LN: make([]int64, 4)}
+	big := Token{LN: make([]int64, 64)}
+	if small.Size() >= big.Size() {
+		t.Errorf("token size does not grow with N: %d vs %d", small.Size(), big.Size())
+	}
+	queued := Token{LN: make([]int64, 4), Q: []mutex.ID{1, 2, 3}}
+	if queued.Size() <= small.Size() {
+		t.Error("queue entries do not contribute to token size")
+	}
+}
+
+func TestTokenStateTransfersWithToken(t *testing.T) {
+	w := algotest.NewWorld()
+	m := build(t, w, 3, 0)
+	// 1 and 2 request while 0 is in CS; on release, 1 gets the token
+	// with 2 still queued, and 1's release grants 2 without any new
+	// request.
+	m[0].Request()
+	w.Settle()
+	m[1].Request()
+	m[2].Request()
+	for w.DeliverNext() {
+	}
+	m[0].Release()
+	if err := w.Drain(30); err != nil {
+		t.Fatal(err)
+	}
+	if m[1].State() != mutex.InCS {
+		t.Fatalf("node 1 state %v", m[1].State())
+	}
+	if !m[1].HasPending() {
+		t.Fatal("node 1 should see node 2 pending via the token queue")
+	}
+	before := len(w.Log())
+	m[1].Release()
+	if err := w.Drain(30); err != nil {
+		t.Fatal(err)
+	}
+	if m[2].State() != mutex.InCS {
+		t.Fatal("queued node 2 not served")
+	}
+	var tokens, others int
+	for _, s := range w.Log()[before:] {
+		if s.Msg.Kind() == "suzuki.token" {
+			tokens++
+		} else {
+			others++
+		}
+	}
+	if tokens != 1 || others != 0 {
+		t.Fatalf("handover cost %d tokens + %d other messages, want 1 + 0", tokens, others)
+	}
+}
+
+func TestProtocolPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(m []mutex.Instance)
+	}{
+		{"double request", func(m []mutex.Instance) { m[1].Request(); m[1].Request() }},
+		{"release without CS", func(m []mutex.Instance) { m[1].Release() }},
+		{"token while not requesting", func(m []mutex.Instance) {
+			m[1].Deliver(0, Token{LN: make([]int64, 3)})
+		}},
+		{"request from non-member", func(m []mutex.Instance) { m[0].Deliver(99, Request{Seq: 1}) }},
+		{"unexpected message", func(m []mutex.Instance) { m[1].Deliver(0, bogus{}) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := algotest.NewWorld()
+			m := build(t, w, 3, 0)
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", tc.name)
+				}
+			}()
+			tc.run(m)
+		})
+	}
+}
+
+type bogus struct{}
+
+func (bogus) Kind() string { return "bogus" }
+func (bogus) Size() int    { return 0 }
+
+func TestNewRejectsInvalidConfig(t *testing.T) {
+	if _, err := New(mutex.Config{}); err == nil {
+		t.Fatal("New accepted an invalid config")
+	}
+}
+
+// TestPropertyTokenStateInvariant: after any random execution drains, the
+// token's LN array equals every node's RN view (all requests satisfied),
+// the token queue is empty, and exactly one node holds the token.
+func TestPropertyTokenStateInvariant(t *testing.T) {
+	f := func(seed int64, rawN, rawOps uint8) bool {
+		n := int(rawN%6) + 2
+		ops := int(rawOps%25) + 5
+		rng := rand.New(rand.NewSource(seed))
+		w := algotest.NewWorld()
+		members := make([]mutex.ID, n)
+		for i := range members {
+			members[i] = mutex.ID(i)
+		}
+		insts, err := w.Build(New, members, 0, nil)
+		if err != nil {
+			return false
+		}
+		for k := 0; k < ops; k++ {
+			switch rng.Intn(3) {
+			case 0:
+				i := rng.Intn(n)
+				if insts[i].State() == mutex.NoReq {
+					insts[i].Request()
+				}
+			case 1:
+				i := rng.Intn(n)
+				if insts[i].State() == mutex.InCS {
+					insts[i].Release()
+				}
+			default:
+				if fl := w.Inflight(); len(fl) > 0 {
+					w.DeliverAt(rng.Intn(len(fl)))
+				}
+			}
+		}
+		for round := 0; round < 10*n*ops+100; round++ {
+			if err := w.Drain(100000); err != nil {
+				return false
+			}
+			progressed := false
+			for _, inst := range insts {
+				if inst.State() == mutex.InCS {
+					inst.Release()
+					progressed = true
+				}
+			}
+			if !progressed && len(w.Inflight()) == 0 {
+				break
+			}
+		}
+		holders := 0
+		var holder *node
+		for _, inst := range insts {
+			nd := inst.(*node)
+			if nd.State() != mutex.NoReq {
+				return false
+			}
+			if nd.HoldsToken() {
+				holders++
+				holder = nd
+			}
+		}
+		if holders != 1 || holder == nil {
+			return false
+		}
+		if len(holder.queue) != 0 || holder.HasPending() {
+			return false
+		}
+		// Every node's RN must match the token's LN: no satisfied
+		// request is remembered as outstanding anywhere.
+		for _, inst := range insts {
+			nd := inst.(*node)
+			for i := range members {
+				if nd.rn[i] != holder.ln[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,133 @@
+// Package check implements runtime verification of the mutual exclusion
+// properties: safety (at most one process in the critical section at any
+// virtual instant) and bookkeeping that lets callers assert liveness (every
+// request eventually granted).
+package check
+
+import (
+	"fmt"
+	"time"
+
+	"gridmutex/internal/des"
+	"gridmutex/internal/mutex"
+)
+
+// Monitor observes critical section entries and exits in virtual time.
+// It is driven from DES event handlers, which run serially, so it needs no
+// locking.
+type Monitor struct {
+	sim        *des.Simulator
+	current    mutex.ID
+	since      des.Time
+	entries    int64
+	exits      int64
+	violations []string
+	// MaxViolations bounds recording so a broken run does not hoard
+	// memory; further violations are only counted.
+	MaxViolations int
+	suppressed    int64
+}
+
+// NewMonitor returns a monitor bound to the simulator's clock.
+func NewMonitor(sim *des.Simulator) *Monitor {
+	return &Monitor{sim: sim, current: mutex.None, MaxViolations: 64}
+}
+
+// Enter records that id entered the critical section now.
+func (m *Monitor) Enter(id mutex.ID) {
+	if m.current != mutex.None {
+		m.violate("safety: %d entered CS at %v while %d has held it since %v",
+			id, m.sim.Now(), m.current, m.since)
+	}
+	m.current = id
+	m.since = m.sim.Now()
+	m.entries++
+}
+
+// Exit records that id left the critical section now.
+func (m *Monitor) Exit(id mutex.ID) {
+	if m.current != id {
+		m.violate("protocol: %d exited CS at %v but holder is %d", id, m.sim.Now(), m.current)
+	}
+	m.current = mutex.None
+	m.exits++
+}
+
+func (m *Monitor) violate(format string, args ...any) {
+	if len(m.violations) >= m.MaxViolations {
+		m.suppressed++
+		return
+	}
+	m.violations = append(m.violations, fmt.Sprintf(format, args...))
+}
+
+// Violations returns the recorded property violations.
+func (m *Monitor) Violations() []string {
+	out := append([]string(nil), m.violations...)
+	if m.suppressed > 0 {
+		out = append(out, fmt.Sprintf("... and %d more suppressed violations", m.suppressed))
+	}
+	return out
+}
+
+// Ok reports whether no violation occurred.
+func (m *Monitor) Ok() bool { return len(m.violations) == 0 && m.suppressed == 0 }
+
+// Entries returns the number of recorded critical section entries.
+func (m *Monitor) Entries() int64 { return m.entries }
+
+// Exits returns the number of recorded critical section exits.
+func (m *Monitor) Exits() int64 { return m.exits }
+
+// InCS returns the process currently inside the critical section, or
+// mutex.None.
+func (m *Monitor) InCS() mutex.ID { return m.current }
+
+// AssertQuiescent records a violation unless the critical section is free
+// and entries match exits — call it after a run drains.
+func (m *Monitor) AssertQuiescent() {
+	if m.current != mutex.None {
+		m.violate("quiescence: %d still in CS at %v", m.current, m.sim.Now())
+	}
+	if m.entries != m.exits {
+		m.violate("quiescence: %d entries but %d exits", m.entries, m.exits)
+	}
+}
+
+// WatchLiveness installs a stall detector. Every interval of virtual time
+// it samples waiting() — processes with an ungranted request — and flags a
+// liveness violation when a full interval passes with someone waiting at
+// both of its ends and not a single critical section entry in between:
+// grants normally occur within fractions of an interval, so system-wide
+// silence across one while requests wait means deadlock. (Requiring
+// waiting>0 at both ends keeps a request that was issued just before a
+// tick and granted just after it from counting as silence.)
+//
+// The watchdog stops rescheduling once done() reports true or a stall has
+// been recorded, so it never keeps an otherwise-drained simulation alive.
+func (m *Monitor) WatchLiveness(waiting func() int, done func() bool, interval time.Duration) {
+	if waiting == nil || done == nil {
+		panic("check: nil watchdog callback")
+	}
+	if interval <= 0 {
+		panic("check: non-positive watchdog interval")
+	}
+	var tick func()
+	lastEntries := m.entries
+	armed := false
+	tick = func() {
+		if done() {
+			return // workload complete; let the simulation drain
+		}
+		w := waiting()
+		if armed && w > 0 && m.entries == lastEntries {
+			m.violate("liveness: %d requests waiting but no CS entry between %v and %v",
+				w, des.Time(m.sim.Now())-interval, m.sim.Now())
+			return
+		}
+		armed = w > 0
+		lastEntries = m.entries
+		m.sim.After(interval, tick)
+	}
+	m.sim.After(interval, tick)
+}

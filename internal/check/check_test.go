@@ -1,0 +1,204 @@
+package check
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gridmutex/internal/des"
+	"gridmutex/internal/mutex"
+)
+
+func TestCleanRun(t *testing.T) {
+	sim := des.New()
+	m := NewMonitor(sim)
+	for i := 0; i < 5; i++ {
+		id := i
+		sim.At(des.Time(i)*time.Second, func() { m.Enter(mutex.ID(id)) })
+		sim.At(des.Time(i)*time.Second+500*time.Millisecond, func() { m.Exit(mutex.ID(id)) })
+	}
+	sim.Run()
+	m.AssertQuiescent()
+	if !m.Ok() {
+		t.Fatalf("violations on clean run: %v", m.Violations())
+	}
+	if m.Entries() != 5 || m.Exits() != 5 {
+		t.Fatalf("entries/exits = %d/%d", m.Entries(), m.Exits())
+	}
+}
+
+func TestOverlapDetected(t *testing.T) {
+	sim := des.New()
+	m := NewMonitor(sim)
+	m.Enter(1)
+	m.Enter(2)
+	if m.Ok() {
+		t.Fatal("overlap not detected")
+	}
+	v := m.Violations()
+	if len(v) != 1 || !strings.Contains(v[0], "safety") {
+		t.Fatalf("violations = %v", v)
+	}
+}
+
+func TestWrongExiterDetected(t *testing.T) {
+	sim := des.New()
+	m := NewMonitor(sim)
+	m.Enter(1)
+	m.Exit(2)
+	if m.Ok() {
+		t.Fatal("wrong exiter not detected")
+	}
+	if !strings.Contains(m.Violations()[0], "protocol") {
+		t.Fatalf("violations = %v", m.Violations())
+	}
+}
+
+func TestQuiescenceViolations(t *testing.T) {
+	sim := des.New()
+	m := NewMonitor(sim)
+	m.Enter(1)
+	m.AssertQuiescent()
+	if m.Ok() {
+		t.Fatal("non-quiescent state accepted")
+	}
+	found := false
+	for _, v := range m.Violations() {
+		if strings.Contains(v, "quiescence") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no quiescence violation recorded: %v", m.Violations())
+	}
+}
+
+func TestInCS(t *testing.T) {
+	sim := des.New()
+	m := NewMonitor(sim)
+	if m.InCS() != -1 {
+		t.Fatal("fresh monitor reports an occupant")
+	}
+	m.Enter(3)
+	if m.InCS() != 3 {
+		t.Fatalf("InCS = %d", m.InCS())
+	}
+	m.Exit(3)
+	if m.InCS() != -1 {
+		t.Fatal("occupant not cleared on exit")
+	}
+}
+
+func TestViolationCap(t *testing.T) {
+	sim := des.New()
+	m := NewMonitor(sim)
+	m.MaxViolations = 3
+	for i := 0; i < 10; i++ {
+		m.Enter(1)
+		m.Enter(2) // violation each time; also leaves current=2
+		m.Exit(2)
+		m.Exit(1) // wrong exiter half the time -> more violations
+	}
+	v := m.Violations()
+	if len(v) != 4 { // 3 recorded + 1 summary line
+		t.Fatalf("%d violation lines, want 3 + summary", len(v))
+	}
+	if !strings.Contains(v[3], "suppressed") {
+		t.Fatalf("last line should summarize suppression: %q", v[3])
+	}
+	if m.Ok() {
+		t.Fatal("Ok with suppressed violations")
+	}
+}
+
+func TestWatchdogQuietOnProgress(t *testing.T) {
+	sim := des.New()
+	m := NewMonitor(sim)
+	remaining := 5
+	m.WatchLiveness(func() int { return remaining }, func() bool { return remaining == 0 }, 10*time.Millisecond)
+	// A grant every 8ms: always progress between checks.
+	for i := 1; i <= 5; i++ {
+		id := mutex.ID(i)
+		sim.At(des.Time(i)*8*time.Millisecond, func() {
+			m.Enter(id)
+			m.Exit(id)
+			remaining--
+		})
+	}
+	sim.Run()
+	if !m.Ok() {
+		t.Fatalf("watchdog flagged a live run: %v", m.Violations())
+	}
+}
+
+// TestWatchdogQuietOnIdleTail: a long idle gap with nobody waiting (the
+// exponential think-time tail) must not trip the detector.
+func TestWatchdogQuietOnIdleTail(t *testing.T) {
+	sim := des.New()
+	m := NewMonitor(sim)
+	waiting := 0
+	done := false
+	m.WatchLiveness(func() int { return waiting }, func() bool { return done }, 10*time.Millisecond)
+	// One early grant, a 60ms idle gap (6 intervals, waiting = 0), then
+	// a late request-and-grant pair.
+	sim.At(time.Millisecond, func() { m.Enter(1); m.Exit(1) })
+	sim.At(61*time.Millisecond, func() { waiting = 1 })
+	sim.At(64*time.Millisecond, func() { m.Enter(2); m.Exit(2); waiting = 0; done = true })
+	sim.Run()
+	if !m.Ok() {
+		t.Fatalf("watchdog flagged an idle tail: %v", m.Violations())
+	}
+}
+
+func TestWatchdogDetectsStall(t *testing.T) {
+	sim := des.New()
+	m := NewMonitor(sim)
+	m.WatchLiveness(func() int { return 3 }, func() bool { return false }, 10*time.Millisecond)
+	// One early grant, then silence forever.
+	sim.At(time.Millisecond, func() { m.Enter(1); m.Exit(1) })
+	sim.Run()
+	if m.Ok() {
+		t.Fatal("stall not detected")
+	}
+	found := false
+	for _, v := range m.Violations() {
+		if strings.Contains(v, "liveness") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no liveness violation: %v", m.Violations())
+	}
+	// The watchdog must have stopped: the simulation drained.
+	if sim.Pending() != 0 {
+		t.Fatal("watchdog kept the simulation alive")
+	}
+}
+
+func TestWatchdogStopsWhenDone(t *testing.T) {
+	sim := des.New()
+	m := NewMonitor(sim)
+	m.WatchLiveness(func() int { return 0 }, func() bool { return true }, time.Millisecond)
+	sim.Run()
+	if !m.Ok() || sim.Pending() != 0 {
+		t.Fatal("watchdog misbehaved on an already-done workload")
+	}
+}
+
+func TestWatchdogPanics(t *testing.T) {
+	m := NewMonitor(des.New())
+	for name, f := range map[string]func(){
+		"nil counter":   func() { m.WatchLiveness(nil, func() bool { return true }, time.Second) },
+		"nil done":      func() { m.WatchLiveness(func() int { return 0 }, nil, time.Second) },
+		"zero interval": func() { m.WatchLiveness(func() int { return 0 }, func() bool { return true }, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+
+	"gridmutex/internal/algorithms"
+	"gridmutex/internal/mutex"
+	"gridmutex/internal/topology"
+)
+
+// Spec names the algorithms of a two-level composition, using the paper's
+// "Intra-Inter" notation: Spec{"naimi", "martin"} is Naimi-Martin.
+type Spec struct {
+	Intra string
+	Inter string
+}
+
+// String renders the paper's composition notation.
+func (s Spec) String() string { return s.Intra + "-" + s.Inter }
+
+// App is an application process endpoint: the workload drives Instance
+// through Request/Release and receives OnAcquire through the callbacks it
+// supplied at build time.
+type App struct {
+	// ID is the process (and topology node) identifier.
+	ID mutex.ID
+	// Cluster is the topology cluster the process lives in.
+	Cluster int
+	// Instance is the process's intra algorithm endpoint.
+	Instance mutex.Instance
+}
+
+// Deployment is a wired grid: processes registered on the network,
+// coordinators started, applications ready to issue requests.
+type Deployment struct {
+	// Apps lists the application processes in ascending ID order.
+	Apps []App
+	// Coordinators lists the per-cluster coordinators (empty for flat
+	// deployments), in cluster order.
+	Coordinators []*Coordinator
+	// Procs maps process IDs to their dispatchers.
+	Procs map[mutex.ID]*Process
+}
+
+// CallbackFunc supplies the application-level callbacks for an app process;
+// it may return zero Callbacks if the workload polls instead.
+type CallbackFunc func(id mutex.ID) mutex.Callbacks
+
+// BuildComposed assembles the paper's two-level architecture on the given
+// network: within every cluster of the grid the first node hosts the
+// coordinator and the remaining nodes host application processes; the
+// spec's intra algorithm runs per cluster (coordinator = initial holder)
+// and its inter algorithm runs among the coordinators (cluster 0's
+// coordinator = initial holder).
+//
+// Every cluster must have at least 2 nodes (a coordinator plus one
+// application process). BuildComposed is the two-level case of
+// BuildMultiLevel.
+func BuildComposed(net mutex.Fabric, grid *topology.Grid, spec Spec, appCB CallbackFunc, coordOpts ...func(*Coordinator)) (*Deployment, error) {
+	return BuildMultiLevel(net, grid, []string{spec.Intra, spec.Inter}, nil, appCB, coordOpts...)
+}
+
+// BuildFlat assembles the paper's baseline: a single non-hierarchical
+// instance of the named algorithm spanning every node of the grid, with
+// node 0 as the initial holder. All nodes are application processes.
+func BuildFlat(net mutex.Fabric, grid *topology.Grid, alg string, appCB CallbackFunc) (*Deployment, error) {
+	factory, err := algorithms.Factory(alg)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	members := make([]mutex.ID, grid.NumNodes())
+	for i := range members {
+		members[i] = mutex.ID(i)
+	}
+	d := &Deployment{Procs: make(map[mutex.ID]*Process)}
+	for _, id := range members {
+		proc := NewProcess(id, net.Endpoint(id))
+		d.Procs[id] = proc
+		net.RegisterAt(id, int(id), proc)
+		var cbs mutex.Callbacks
+		if appCB != nil {
+			cbs = appCB(id)
+		}
+		inst, err := factory(mutex.Config{
+			Self: id, Members: members, Holder: 0,
+			Env: proc.Env(0), Callbacks: cbs,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: instance for %d: %w", id, err)
+		}
+		proc.Attach(0, inst)
+		d.Apps = append(d.Apps, App{ID: id, Cluster: grid.ClusterOf(int(id)), Instance: inst})
+	}
+	return d, nil
+}

@@ -1,0 +1,352 @@
+package core
+
+import (
+	"testing"
+
+	"gridmutex/internal/mutex"
+)
+
+// stubInstance is a scripted mutex.Instance recording calls, with
+// synchronous callbacks triggered by the test.
+type stubInstance struct {
+	cbs      mutex.Callbacks
+	requests int
+	releases int
+	pending  bool
+	holds    bool
+	state    mutex.State
+	// grantOnRequest immediately acquires when Request is called
+	// (models the coordinator being the idle initial holder).
+	grantOnRequest bool
+	// stickyPending keeps pending set across Release (models a stream
+	// of local requests arriving faster than they are served).
+	stickyPending bool
+}
+
+func (s *stubInstance) Request() {
+	s.requests++
+	s.state = mutex.Req
+	if s.grantOnRequest {
+		s.acquire()
+	}
+}
+
+func (s *stubInstance) acquire() {
+	s.state = mutex.InCS
+	s.holds = true
+	if s.cbs.OnAcquire != nil {
+		s.cbs.OnAcquire()
+	}
+}
+
+func (s *stubInstance) Release() {
+	s.releases++
+	s.state = mutex.NoReq
+	s.holds = false
+	if !s.stickyPending {
+		s.pending = false
+	}
+}
+
+func (s *stubInstance) Deliver(mutex.ID, mutex.Message) {}
+func (s *stubInstance) HasPending() bool                { return s.pending }
+func (s *stubInstance) HoldsToken() bool                { return s.holds }
+func (s *stubInstance) State() mutex.State              { return s.state }
+
+// signalPending marks a pending request and fires the callback, as an
+// algorithm would.
+func (s *stubInstance) signalPending() {
+	s.pending = true
+	if s.cbs.OnPending != nil {
+		s.cbs.OnPending()
+	}
+}
+
+func newWiredCoordinator(t *testing.T) (*Coordinator, *stubInstance, *stubInstance) {
+	t.Helper()
+	c := NewCoordinator(7)
+	intra := &stubInstance{grantOnRequest: true}
+	inter := &stubInstance{}
+	intra.cbs = c.IntraCallbacks()
+	inter.cbs = c.InterCallbacks()
+	c.Start(intra, inter)
+	if c.State() != Out {
+		t.Fatalf("after boot state = %v, want OUT", c.State())
+	}
+	return c, intra, inter
+}
+
+func TestCoordinatorBootAcquiresIntraToken(t *testing.T) {
+	c, intra, inter := newWiredCoordinator(t)
+	if intra.requests != 1 {
+		t.Errorf("boot issued %d intra requests, want 1", intra.requests)
+	}
+	if inter.requests != 0 {
+		t.Errorf("boot issued %d inter requests, want 0", inter.requests)
+	}
+	if c.ID() != 7 {
+		t.Errorf("ID = %d, want 7", c.ID())
+	}
+}
+
+// TestFullCycle drives OUT -> WAIT_FOR_IN -> IN -> WAIT_FOR_OUT -> OUT,
+// the automaton of figure 1(b).
+func TestFullCycle(t *testing.T) {
+	c, intra, inter := newWiredCoordinator(t)
+
+	// A local application request arrives while the coordinator holds
+	// the intra token.
+	intra.signalPending()
+	if c.State() != WaitForIn {
+		t.Fatalf("after intra pending: %v, want WAIT_FOR_IN", c.State())
+	}
+	if inter.requests != 1 {
+		t.Fatalf("inter requests = %d, want 1", inter.requests)
+	}
+	// Still holding the intra token while waiting (Intra = CS).
+	if !intra.holds {
+		t.Fatal("intra token released before the inter token arrived")
+	}
+
+	// The inter token arrives.
+	inter.acquire()
+	if c.State() != In {
+		t.Fatalf("after inter acquire: %v, want IN", c.State())
+	}
+	if intra.releases != 1 {
+		t.Fatalf("intra releases = %d, want 1 (token handed to the application)", intra.releases)
+	}
+
+	// Another cluster asks for the inter token. The stub grants the
+	// reclaim synchronously, so WAIT_FOR_OUT is transient and the
+	// coordinator lands in OUT with the inter token released.
+	inter.signalPending()
+	if intra.requests != 2 {
+		t.Fatalf("intra requests = %d, want 2 (reclaim)", intra.requests)
+	}
+	if c.State() != Out {
+		t.Fatalf("after reclaim: %v, want OUT", c.State())
+	}
+	if inter.releases != 1 {
+		t.Fatalf("inter releases = %d, want 1", inter.releases)
+	}
+	st := c.Stats()
+	if st.InterAcquisitions != 1 || st.InterHandoffs != 1 {
+		t.Fatalf("stats = %+v, want 1 acquisition and 1 handoff", st)
+	}
+}
+
+// TestPendingLocalRequestsAfterHandoff: applications queued behind the
+// coordinator's reclaim trigger a fresh inter acquisition right after the
+// handoff.
+func TestPendingLocalRequestsAfterHandoff(t *testing.T) {
+	c, intra, inter := newWiredCoordinator(t)
+	intra.signalPending()
+	inter.acquire() // IN
+	inter.signalPending()
+	// While the coordinator reclaims, a local app queues behind it.
+	// (The stub granted the reclaim synchronously; make pending visible
+	// before the grant by setting it under grantOnRequest=false.)
+	if c.State() != Out {
+		t.Fatalf("state %v", c.State())
+	}
+	// New local request after handoff.
+	intra.signalPending()
+	if c.State() != WaitForIn {
+		t.Fatalf("state %v, want WAIT_FOR_IN for the queued local request", c.State())
+	}
+	if inter.requests != 2 {
+		t.Fatalf("inter requests = %d, want 2", inter.requests)
+	}
+}
+
+// TestReclaimSeesQueuedLocalsAtAcquire: when the intra reclaim completes
+// and local requests are already queued, the coordinator re-requests the
+// inter token immediately (the HasPending check in onIntraAcquire).
+func TestReclaimSeesQueuedLocalsAtAcquire(t *testing.T) {
+	c := NewCoordinator(3)
+	intra := &stubInstance{}
+	inter := &stubInstance{}
+	intra.cbs = c.IntraCallbacks()
+	inter.cbs = c.InterCallbacks()
+	intra.grantOnRequest = true
+	c.Start(intra, inter)
+
+	intra.signalPending()
+	inter.acquire() // IN
+	// Before the inter pending arrives, flip the intra stub to manual
+	// grants so we can interleave.
+	intra.grantOnRequest = false
+	inter.signalPending() // WAIT_FOR_OUT, reclaim issued
+	if c.State() != WaitForOut {
+		t.Fatalf("state %v", c.State())
+	}
+	// A local app queues behind the reclaim.
+	intra.pending = true
+	// Reclaim completes.
+	intra.acquire()
+	if c.State() != WaitForIn {
+		t.Fatalf("state %v, want WAIT_FOR_IN (queued local detected at acquire)", c.State())
+	}
+	if inter.releases != 1 {
+		t.Fatalf("inter releases = %d, want 1", inter.releases)
+	}
+	if inter.requests != 2 {
+		t.Fatalf("inter requests = %d, want 2", inter.requests)
+	}
+}
+
+// TestSpuriousPendingNudgesAreSafe: OnPending may fire spuriously; the
+// automaton must not double-request.
+func TestSpuriousPendingNudges(t *testing.T) {
+	c, intra, inter := newWiredCoordinator(t)
+	intra.signalPending()
+	intra.signalPending() // duplicate nudge in WAIT_FOR_IN
+	if inter.requests != 1 {
+		t.Fatalf("inter requests = %d after duplicate nudges, want 1", inter.requests)
+	}
+	inter.acquire()
+	inter.signalPending()
+	// The stub reclaim completed synchronously; repeat nudges while OUT
+	// with no pending must do nothing.
+	intra.pending = false
+	inter.pending = false
+	c.onIntraPending()
+	c.onInterPending()
+	if c.State() != Out {
+		t.Fatalf("state %v after no-op nudges, want OUT", c.State())
+	}
+}
+
+func TestCoordinatorPanics(t *testing.T) {
+	t.Run("double start", func(t *testing.T) {
+		c, intra, inter := newWiredCoordinator(t)
+		defer func() {
+			if recover() == nil {
+				t.Error("double Start did not panic")
+			}
+		}()
+		c.Start(intra, inter)
+	})
+	t.Run("nil instances", func(t *testing.T) {
+		c := NewCoordinator(1)
+		defer func() {
+			if recover() == nil {
+				t.Error("nil Start did not panic")
+			}
+		}()
+		c.Start(nil, nil)
+	})
+	t.Run("unexpected inter acquire", func(t *testing.T) {
+		_, _, inter := newWiredCoordinator(t)
+		defer func() {
+			if recover() == nil {
+				t.Error("inter acquire in OUT did not panic")
+			}
+		}()
+		inter.acquire()
+	})
+}
+
+func TestCoordinatorStateString(t *testing.T) {
+	want := map[CoordinatorState]string{
+		Booting: "BOOTING", Out: "OUT", WaitForIn: "WAIT_FOR_IN",
+		In: "IN", WaitForOut: "WAIT_FOR_OUT", CoordinatorState(99): "CoordinatorState(99)",
+	}
+	for s, w := range want {
+		if got := s.String(); got != w {
+			t.Errorf("%d.String() = %q, want %q", s, got, w)
+		}
+	}
+}
+
+// TestOnlyOneClusterInOrWaitForOut is checked structurally here with
+// stubs; the end-to-end variant lives in build_test.go.
+func TestInterCSExclusivityInvariantDoc(t *testing.T) {
+	// IN and WAIT_FOR_OUT both correspond to Inter = CS; the inter
+	// algorithm's safety property makes them exclusive across
+	// coordinators. Nothing to execute with stubs — the invariant is
+	// asserted over real runs in TestComposedInvariant.
+}
+
+// TestLocalBiasServesLocalsBeforeHandoff: with SetLocalBias(2), queued
+// local requests get two extra serving rounds before the inter token is
+// released.
+func TestLocalBiasServesLocalsBeforeHandoff(t *testing.T) {
+	c := NewCoordinator(5)
+	intra := &stubInstance{grantOnRequest: true}
+	inter := &stubInstance{}
+	intra.cbs = c.IntraCallbacks()
+	inter.cbs = c.InterCallbacks()
+	c.SetLocalBias(2)
+	c.Start(intra, inter)
+
+	intra.signalPending()
+	inter.acquire() // IN
+	// Remote cluster asks; locals keep the intra queue non-empty, so the
+	// reclaim loops through two bias rounds before handing off.
+	intra.stickyPending = true
+	intra.pending = true
+	inter.signalPending()
+	// Each grantOnRequest reclaim immediately re-acquires: 1 initial
+	// reclaim + 2 bias rounds = 3 intra requests beyond boot and the
+	// releases to match; then the handoff happens despite pending locals.
+	if inter.releases != 1 {
+		t.Fatalf("inter releases = %d, want 1 (handoff after bias budget)", inter.releases)
+	}
+	if got := c.Stats().BiasRounds; got != 2 {
+		t.Fatalf("BiasRounds = %d, want 2", got)
+	}
+	// 1 boot + 1 reclaim + 2 bias re-requests.
+	if intra.requests != 4 {
+		t.Fatalf("intra requests = %d, want 4", intra.requests)
+	}
+	// After the handoff the pending locals trigger a fresh inter request.
+	if c.State() != WaitForIn {
+		t.Fatalf("state %v, want WAIT_FOR_IN", c.State())
+	}
+}
+
+// TestLocalBiasStopsEarlyWhenQuiescent: bias rounds only run while locals
+// are actually pending.
+func TestLocalBiasStopsEarlyWhenQuiescent(t *testing.T) {
+	c := NewCoordinator(5)
+	intra := &stubInstance{grantOnRequest: true}
+	inter := &stubInstance{}
+	intra.cbs = c.IntraCallbacks()
+	inter.cbs = c.InterCallbacks()
+	c.SetLocalBias(8)
+	c.Start(intra, inter)
+
+	intra.signalPending()
+	inter.acquire()
+	intra.pending = false // locals done by the time the reclaim lands
+	inter.signalPending()
+	if got := c.Stats().BiasRounds; got != 0 {
+		t.Fatalf("BiasRounds = %d, want 0", got)
+	}
+	if inter.releases != 1 || c.State() != Out {
+		t.Fatalf("handoff missing: releases=%d state=%v", inter.releases, c.State())
+	}
+}
+
+func TestSetLocalBiasPanics(t *testing.T) {
+	t.Run("negative", func(t *testing.T) {
+		c := NewCoordinator(1)
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic")
+			}
+		}()
+		c.SetLocalBias(-1)
+	})
+	t.Run("after start", func(t *testing.T) {
+		c, _, _ := newWiredCoordinator(t)
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic")
+			}
+		}()
+		c.SetLocalBias(1)
+	})
+}

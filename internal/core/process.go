@@ -1,0 +1,108 @@
+// Package core implements the paper's contribution: the hierarchical
+// composition of token-based mutual exclusion algorithms (section 3).
+//
+// A grid deployment runs one intra-cluster algorithm instance per cluster
+// and a single inter-cluster instance among per-cluster coordinators. The
+// Coordinator type implements the bridge automaton of figures 1 and 2; the
+// Process type multiplexes the several algorithm instances a process hosts
+// over one network endpoint; Build* functions assemble whole deployments.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"gridmutex/internal/mutex"
+)
+
+// Level identifies which hierarchy layer a message belongs to: 0 is the
+// intra-cluster layer, 1 the inter-cluster layer, higher values deeper
+// hierarchies.
+type Level uint8
+
+// Envelope wraps an algorithm message with its hierarchy level so that one
+// process endpoint can host instances of several layers.
+type Envelope struct {
+	Level Level
+	Inner mutex.Message
+}
+
+// Kind implements mutex.Message; envelopes are transparent for tracing.
+func (e Envelope) Kind() string { return e.Inner.Kind() }
+
+// Size implements mutex.Message: inner size plus a one-byte level tag.
+func (e Envelope) Size() int { return e.Inner.Size() + 1 }
+
+// Process hosts the algorithm instances of one grid process and routes
+// incoming envelopes to the right one. It implements the mutex.Handler
+// contract.
+//
+// Attach and Deliver may run on different goroutines on live transports
+// (the builder attaches while a socket reader is already live, and a
+// permission-based algorithm broadcasts during coordinator boot), so the
+// instance table is guarded; the instances themselves are still only ever
+// entered from their process's serial context.
+type Process struct {
+	id  mutex.ID
+	raw mutex.Env
+
+	mu   sync.RWMutex
+	inst map[Level]mutex.Instance
+}
+
+// NewProcess creates a process with the given raw network endpoint.
+func NewProcess(id mutex.ID, raw mutex.Env) *Process {
+	return &Process{id: id, raw: raw, inst: make(map[Level]mutex.Instance)}
+}
+
+// ID returns the process identifier.
+func (p *Process) ID() mutex.ID { return p.id }
+
+// Attach registers the instance serving the given level.
+func (p *Process) Attach(level Level, inst mutex.Instance) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dup := p.inst[level]; dup {
+		panic(fmt.Sprintf("core: process %d already has an instance at level %d", p.id, level))
+	}
+	p.inst[level] = inst
+}
+
+// Instance returns the instance at the level, or nil.
+func (p *Process) Instance(level Level) mutex.Instance {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.inst[level]
+}
+
+// Env returns the mutex.Env an instance at the given level must be
+// constructed with: sends are wrapped in envelopes carrying the level.
+func (p *Process) Env(level Level) mutex.Env {
+	return &levelEnv{p: p, level: level}
+}
+
+// Deliver routes an incoming envelope to the instance at its level.
+func (p *Process) Deliver(from mutex.ID, m mutex.Message) {
+	env, ok := m.(Envelope)
+	if !ok {
+		panic(fmt.Sprintf("core: process %d received bare message %T", p.id, m))
+	}
+	p.mu.RLock()
+	inst, ok := p.inst[env.Level]
+	p.mu.RUnlock()
+	if !ok {
+		panic(fmt.Sprintf("core: process %d has no instance at level %d for %s", p.id, env.Level, m.Kind()))
+	}
+	inst.Deliver(from, env.Inner)
+}
+
+type levelEnv struct {
+	p     *Process
+	level Level
+}
+
+func (e *levelEnv) Send(to mutex.ID, m mutex.Message) {
+	e.p.raw.Send(to, Envelope{Level: e.level, Inner: m})
+}
+
+func (e *levelEnv) Local(f func()) { e.p.raw.Local(f) }

@@ -1,0 +1,168 @@
+// Package des implements a deterministic discrete-event simulator.
+//
+// The simulator owns a virtual clock and a priority queue of events. Events
+// scheduled for the same instant fire in scheduling order (FIFO), which makes
+// every simulation a pure function of its inputs: same events in, same
+// trajectory out. All times are virtual and expressed as time.Duration
+// offsets from the start of the simulation; no wall-clock time is consulted.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is an instant in virtual time, measured from the start of the
+// simulation.
+type Time = time.Duration
+
+// event is a closure scheduled to run at a virtual instant.
+type event struct {
+	at  Time
+	seq uint64 // FIFO tie-break for events at the same instant
+	fn  func()
+}
+
+// eventQueue is a binary min-heap ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Simulator is a single-threaded discrete-event scheduler. It is not safe
+// for concurrent use; all node state machines hosted on one Simulator run
+// serially, which is what makes their interleaving reproducible.
+type Simulator struct {
+	now       Time
+	queue     eventQueue
+	seq       uint64
+	processed uint64
+	running   bool
+}
+
+// New returns a simulator with an empty event queue at virtual time zero.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Processed returns the number of events executed so far.
+func (s *Simulator) Processed() uint64 { return s.processed }
+
+// Pending returns the number of events waiting in the queue.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// At schedules fn to run at virtual time t. Scheduling in the past panics:
+// it would silently corrupt causality, which is never recoverable.
+func (s *Simulator) At(t Time, fn func()) {
+	if fn == nil {
+		panic("des: At called with nil function")
+	}
+	if t < s.now {
+		panic(fmt.Sprintf("des: scheduling into the past (now=%v, at=%v)", s.now, t))
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current virtual time. A negative d
+// panics.
+func (s *Simulator) After(d time.Duration, fn func()) {
+	s.At(s.now+d, fn)
+}
+
+// Step executes the earliest pending event, advancing the clock to its
+// instant. It reports whether an event was executed.
+func (s *Simulator) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*event)
+	s.now = e.at
+	s.processed++
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue is empty.
+func (s *Simulator) Run() {
+	s.guardRun()
+	defer func() { s.running = false }()
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with instants <= deadline, then advances the
+// clock to deadline. Events scheduled beyond the deadline remain queued.
+func (s *Simulator) RunUntil(deadline Time) {
+	s.guardRun()
+	defer func() { s.running = false }()
+	for len(s.queue) > 0 && s.queue[0].at <= deadline {
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// RunFor executes events for d of virtual time from the current instant.
+func (s *Simulator) RunFor(d time.Duration) {
+	s.RunUntil(s.now + d)
+}
+
+// MaxEventsExceeded is the panic value used by RunCapped when the event
+// budget is exhausted; it almost always indicates a livelock (two nodes
+// bouncing messages forever).
+type MaxEventsExceeded struct {
+	Limit uint64
+	Now   Time
+}
+
+func (m MaxEventsExceeded) Error() string {
+	return fmt.Sprintf("des: exceeded %d events at virtual time %v", m.Limit, m.Now)
+}
+
+// RunCapped executes events until the queue is empty or limit events have
+// been executed during this call, in which case it returns a
+// MaxEventsExceeded error. Useful as a livelock guard in tests.
+func (s *Simulator) RunCapped(limit uint64) error {
+	s.guardRun()
+	defer func() { s.running = false }()
+	start := s.processed
+	for len(s.queue) > 0 {
+		if s.processed-start >= limit {
+			return MaxEventsExceeded{Limit: limit, Now: s.now}
+		}
+		s.Step()
+	}
+	return nil
+}
+
+func (s *Simulator) guardRun() {
+	if s.running {
+		panic("des: reentrant Run on the same Simulator")
+	}
+	s.running = true
+}

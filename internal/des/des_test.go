@@ -1,0 +1,281 @@
+package des
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEmptySimulator(t *testing.T) {
+	s := New()
+	if s.Now() != 0 {
+		t.Fatalf("fresh simulator at %v, want 0", s.Now())
+	}
+	if s.Step() {
+		t.Fatal("Step on empty queue reported an event")
+	}
+	s.Run() // must return immediately
+	if s.Processed() != 0 {
+		t.Fatalf("processed %d events on empty queue", s.Processed())
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	s := New()
+	var got []Time
+	for _, d := range []time.Duration{30, 10, 20, 5, 25} {
+		d := d * time.Millisecond
+		s.At(d, func() { got = append(got, s.Now()) })
+	}
+	s.Run()
+	want := []Time{5 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond,
+		25 * time.Millisecond, 30 * time.Millisecond}
+	if len(got) != len(want) {
+		t.Fatalf("got %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d fired at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		s.At(time.Millisecond, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events reordered: position %d has %d", i, v)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	s := New()
+	var fired Time
+	s.At(10*time.Millisecond, func() {
+		s.After(5*time.Millisecond, func() { fired = s.Now() })
+	})
+	s.Run()
+	if fired != 15*time.Millisecond {
+		t.Fatalf("nested After fired at %v, want 15ms", fired)
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	s := New()
+	count := 0
+	var ping func()
+	ping = func() {
+		count++
+		if count < 10 {
+			s.After(time.Millisecond, ping)
+		}
+	}
+	s.After(0, ping)
+	s.Run()
+	if count != 10 {
+		t.Fatalf("chain executed %d times, want 10", count)
+	}
+	if s.Now() != 9*time.Millisecond {
+		t.Fatalf("clock at %v, want 9ms", s.Now())
+	}
+}
+
+func TestSchedulingIntoPastPanics(t *testing.T) {
+	s := New()
+	s.At(10*time.Millisecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling into the past did not panic")
+			}
+		}()
+		s.At(5*time.Millisecond, func() {})
+	})
+	s.Run()
+}
+
+func TestNilFuncPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("At(nil) did not panic")
+		}
+	}()
+	New().At(0, nil)
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	s := New()
+	var fired []Time
+	for _, d := range []time.Duration{1, 2, 3, 4, 5} {
+		d := d * time.Second
+		s.At(d, func() { fired = append(fired, s.Now()) })
+	}
+	s.RunUntil(3 * time.Second)
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events before deadline, want 3", len(fired))
+	}
+	if s.Now() != 3*time.Second {
+		t.Fatalf("clock at %v after RunUntil, want 3s", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Fatalf("%d events pending, want 2", s.Pending())
+	}
+	s.Run()
+	if len(fired) != 5 {
+		t.Fatalf("fired %d events total, want 5", len(fired))
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	s := New()
+	s.RunUntil(time.Hour)
+	if s.Now() != time.Hour {
+		t.Fatalf("idle clock at %v, want 1h", s.Now())
+	}
+}
+
+func TestRunForIsRelative(t *testing.T) {
+	s := New()
+	s.RunUntil(time.Second)
+	hit := false
+	s.After(500*time.Millisecond, func() { hit = true })
+	s.RunFor(400 * time.Millisecond)
+	if hit {
+		t.Fatal("event fired before its instant")
+	}
+	if s.Now() != 1400*time.Millisecond {
+		t.Fatalf("clock at %v, want 1.4s", s.Now())
+	}
+	s.RunFor(100 * time.Millisecond)
+	if !hit {
+		t.Fatal("event did not fire at its instant")
+	}
+}
+
+func TestRunCappedDetectsLivelock(t *testing.T) {
+	s := New()
+	var loop func()
+	loop = func() { s.After(time.Microsecond, loop) }
+	s.After(0, loop)
+	err := s.RunCapped(1000)
+	if err == nil {
+		t.Fatal("RunCapped did not report the livelock")
+	}
+	if _, ok := err.(MaxEventsExceeded); !ok {
+		t.Fatalf("error %T, want MaxEventsExceeded", err)
+	}
+	if err.Error() == "" {
+		t.Fatal("empty error string")
+	}
+}
+
+func TestRunCappedFinishesUnderBudget(t *testing.T) {
+	s := New()
+	n := 0
+	for i := 0; i < 50; i++ {
+		s.At(Time(i)*time.Millisecond, func() { n++ })
+	}
+	if err := s.RunCapped(1000); err != nil {
+		t.Fatalf("RunCapped failed: %v", err)
+	}
+	if n != 50 {
+		t.Fatalf("executed %d events, want 50", n)
+	}
+}
+
+func TestReentrantRunPanics(t *testing.T) {
+	s := New()
+	s.After(0, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("reentrant Run did not panic")
+			}
+		}()
+		s.Run()
+	})
+	s.Run()
+}
+
+// Property: for any set of delays, events fire in nondecreasing time order
+// and the processed count matches the number of scheduled events.
+func TestPropertyOrderedExecution(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) > 500 {
+			raw = raw[:500]
+		}
+		s := New()
+		var fired []Time
+		for _, r := range raw {
+			d := time.Duration(r%1_000_000) * time.Microsecond
+			s.At(d, func() { fired = append(fired, s.Now()) })
+		}
+		s.Run()
+		if len(fired) != len(raw) {
+			return false
+		}
+		if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+			return false
+		}
+		return s.Processed() == uint64(len(raw))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: two simulators fed the same schedule execute identically.
+func TestPropertyDeterminism(t *testing.T) {
+	f := func(seed int64) bool {
+		run := func() []Time {
+			rng := rand.New(rand.NewSource(seed))
+			s := New()
+			var fired []Time
+			var spawn func(depth int)
+			spawn = func(depth int) {
+				fired = append(fired, s.Now())
+				if depth < 3 {
+					for i := 0; i < 2; i++ {
+						s.After(time.Duration(rng.Intn(1000))*time.Microsecond, func() { spawn(depth + 1) })
+					}
+				}
+			}
+			for i := 0; i < 10; i++ {
+				s.At(time.Duration(rng.Intn(1000))*time.Microsecond, func() { spawn(0) })
+			}
+			s.Run()
+			return fired
+		}
+		a, b := run(), run()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		for j := 0; j < 1000; j++ {
+			s.At(Time(j%17)*time.Millisecond, func() {})
+		}
+		s.Run()
+	}
+}

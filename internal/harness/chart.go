@@ -1,0 +1,135 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// chartHeight is the number of value rows in a rendered chart.
+const chartHeight = 16
+
+// chartColsPerRho is the horizontal spacing between consecutive ρ values.
+const chartColsPerRho = 6
+
+// seriesMarks label up to six systems on one chart.
+var seriesMarks = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Chart renders the metric as an ASCII plot shaped like the paper's
+// figures: ρ on the x axis, the metric on the y axis (log-scaled when the
+// values span more than two decades), one mark per system.
+func (r *Result) Chart(m Metric, title string) string {
+	rhos := r.Scale.Rhos
+	if len(rhos) == 0 || len(r.Systems) == 0 {
+		return ""
+	}
+	// Collect values and the y range.
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	vals := make([][]float64, len(r.Systems))
+	for si, sys := range r.Systems {
+		vals[si] = make([]float64, len(rhos))
+		for xi, rho := range rhos {
+			p := r.Point(sys.Name, rho)
+			if p == nil {
+				vals[si][xi] = math.NaN()
+				continue
+			}
+			v := p.metric(m)
+			vals[si][xi] = v
+			if v < minV {
+				minV = v
+			}
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if math.IsInf(minV, 1) {
+		return ""
+	}
+	logY := minV > 0 && maxV/minV > 100
+	scale := func(v float64) float64 {
+		if logY {
+			return math.Log(v)
+		}
+		return v
+	}
+	lo, hi := scale(minV), scale(maxV)
+	if hi == lo {
+		hi = lo + 1
+	}
+	row := func(v float64) int {
+		// Row 0 is the top of the chart.
+		frac := (scale(v) - lo) / (hi - lo)
+		rw := chartHeight - 1 - int(math.Round(frac*float64(chartHeight-1)))
+		if rw < 0 {
+			rw = 0
+		}
+		if rw >= chartHeight {
+			rw = chartHeight - 1
+		}
+		return rw
+	}
+
+	width := len(rhos)*chartColsPerRho + 2
+	grid := make([][]byte, chartHeight)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si := range vals {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for xi, v := range vals[si] {
+			if math.IsNaN(v) {
+				continue
+			}
+			col := xi*chartColsPerRho + 2
+			rw := row(v)
+			if grid[rw][col] == ' ' {
+				grid[rw][col] = mark
+			} else {
+				// Collision: offset one column so both marks show.
+				for off := 1; off < chartColsPerRho-1; off++ {
+					if grid[rw][col+off] == ' ' {
+						grid[rw][col+off] = mark
+						break
+					}
+				}
+			}
+		}
+	}
+
+	var b strings.Builder
+	suffix := ""
+	if logY {
+		suffix = "  [log y]"
+	}
+	fmt.Fprintf(&b, "%s — %s%s\n", title, m, suffix)
+	yLabel := func(rw int) string {
+		frac := float64(chartHeight-1-rw) / float64(chartHeight-1)
+		v := lo + frac*(hi-lo)
+		if logY {
+			v = math.Exp(v)
+		}
+		return fmt.Sprintf("%10.2f", v)
+	}
+	for rw := 0; rw < chartHeight; rw++ {
+		label := strings.Repeat(" ", 10)
+		if rw == 0 || rw == chartHeight-1 || rw == chartHeight/2 {
+			label = yLabel(rw)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, strings.TrimRight(string(grid[rw]), " "))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", 10), strings.Repeat("-", width))
+	// X labels: ρ values.
+	xl := []byte(strings.Repeat(" ", width+1))
+	for xi, rho := range rhos {
+		lbl := fmt.Sprintf("%g", rho)
+		col := xi*chartColsPerRho + 2
+		copy(xl[col:], lbl)
+	}
+	fmt.Fprintf(&b, "%s  %s  (rho)\n", strings.Repeat(" ", 10), strings.TrimRight(string(xl), " "))
+	for si, sys := range r.Systems {
+		fmt.Fprintf(&b, "%s %c = %s\n", strings.Repeat(" ", 10), seriesMarks[si%len(seriesMarks)], sys.Name)
+	}
+	return b.String()
+}

@@ -1,0 +1,455 @@
+// Package harness runs the paper's experiments: it assembles a deployment
+// (a composition or a flat original algorithm) on the simulated grid,
+// drives the parameterized workload through it for several repetitions and
+// aggregates the three metrics of section 4.1 — obtaining time, number of
+// inter-cluster sent messages, and the standard deviation of the obtaining
+// time.
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"gridmutex/internal/adaptive"
+	"gridmutex/internal/algorithms"
+	"gridmutex/internal/check"
+	"gridmutex/internal/core"
+	"gridmutex/internal/des"
+	"gridmutex/internal/mutex"
+	"gridmutex/internal/reliable"
+	"gridmutex/internal/simnet"
+	"gridmutex/internal/stats"
+	"gridmutex/internal/topology"
+	"gridmutex/internal/workload"
+)
+
+// System identifies one curve: an "Intra-Inter" composition, a flat
+// original algorithm, or a composition whose inter algorithm adapts at
+// runtime.
+type System struct {
+	// Name labels the curve, e.g. "Naimi-Martin" or "Naimi (original)".
+	Name string
+	// Flat names the original algorithm when non-empty; Spec is then
+	// ignored.
+	Flat string
+	// Spec is the composition to run when Flat is empty. With
+	// AdaptiveInter set, Spec.Inter is only the initial algorithm.
+	Spec core.Spec
+	// AdaptiveInter wraps the inter level in the adaptive switching
+	// protocol driven by a GapPolicy.
+	AdaptiveInter bool
+	// LocalBias configures the Bertier-style local-first policy: up to
+	// this many extra local serving rounds before each inter handoff.
+	LocalBias int
+}
+
+// Composed returns the System for an intra-inter pair, labeled in the
+// paper's notation.
+func Composed(intra, inter string) System {
+	return System{Name: title(intra) + "-" + title(inter), Spec: core.Spec{Intra: intra, Inter: inter}}
+}
+
+// Flat returns the System for an original (non-hierarchical) algorithm.
+func Flat(alg string) System {
+	return System{Name: title(alg) + " (original)", Flat: alg}
+}
+
+// Adaptive returns the System for a composition whose inter level starts
+// as initialInter and switches at runtime.
+func Adaptive(intra, initialInter string) System {
+	return System{
+		Name:          title(intra) + "-Adaptive",
+		Spec:          core.Spec{Intra: intra, Inter: initialInter},
+		AdaptiveInter: true,
+	}
+}
+
+// Biased returns a composition whose coordinators serve up to k extra
+// local requests before each inter handoff (Bertier-style local bias).
+func Biased(intra, inter string, k int) System {
+	return System{
+		Name:      fmt.Sprintf("%s-%s (bias %d)", title(intra), title(inter), k),
+		Spec:      core.Spec{Intra: intra, Inter: inter},
+		LocalBias: k,
+	}
+}
+
+func title(s string) string {
+	if s == "" {
+		return s
+	}
+	b := []byte(s)
+	if b[0] >= 'a' && b[0] <= 'z' {
+		b[0] -= 'a' - 'A'
+	}
+	return string(b)
+}
+
+// Scale bundles the experiment dimensions so every figure can run at the
+// paper's size or at a fast test size.
+type Scale struct {
+	// Clusters is the number of clusters; when UseGrid5000 is set it
+	// must be at most 9 and the Figure 3 latencies are used.
+	Clusters int
+	// AppsPerCluster is the number of application processes per cluster
+	// (composed deployments add one coordinator node per cluster).
+	AppsPerCluster int
+	// UseGrid5000 selects the measured Figure 3 latency matrix; when
+	// false a uniform synthetic grid is used.
+	UseGrid5000 bool
+	// CustomMatrix, when non-nil, supplies an operator-measured
+	// cluster RTT matrix instead (see topology.ParseMatrixSpec); it
+	// overrides UseGrid5000 and Clusters.
+	CustomMatrix *topology.Matrix
+	// LocalRTT/RemoteRTT configure the synthetic grid when UseGrid5000
+	// is false.
+	LocalRTT, RemoteRTT time.Duration
+	// CSPerProcess is the number of critical sections per process (100
+	// in the paper).
+	CSPerProcess int
+	// Repetitions is how many seeded runs are averaged per point (10 in
+	// the paper).
+	Repetitions int
+	// Rhos is the swept degree-of-parallelism axis. Ignored when Phases
+	// is set.
+	Rhos []float64
+	// Phases, when non-empty, replaces the fixed ρ by a virtual-time
+	// schedule (adaptive-composition experiments).
+	Phases []workload.Phase
+	// Alpha is the critical section duration (10 ms in the paper).
+	Alpha time.Duration
+	// BaseSeed derives every run's seed.
+	BaseSeed int64
+	// Jitter is the per-message latency jitter fraction.
+	Jitter float64
+	// Loss drops each message with this probability; set Reliable too or
+	// the run will stall (the algorithms assume reliable channels).
+	Loss float64
+	// Reliable wraps the fabric in the sequencing/ack/retransmission
+	// layer of internal/reliable.
+	Reliable bool
+	// HotCluster and HotSkew skew the workload toward one cluster (see
+	// workload.Params); HotSkew <= 1 disables the skew.
+	HotCluster int
+	HotSkew    float64
+}
+
+// N returns the total number of application processes.
+func (s Scale) N() int {
+	if s.CustomMatrix != nil {
+		return len(s.CustomMatrix.Names) * s.AppsPerCluster
+	}
+	return s.Clusters * s.AppsPerCluster
+}
+
+// PaperScale reproduces the evaluation dimensions of section 4.1: 9
+// Grid'5000 clusters, 20 application processes each (N = 180), 100 critical
+// sections of 10 ms per process, 10 repetitions per point, ρ swept over the
+// three parallelism regimes.
+func PaperScale() Scale {
+	return Scale{
+		Clusters:       9,
+		AppsPerCluster: 20,
+		UseGrid5000:    true,
+		CSPerProcess:   100,
+		Repetitions:    10,
+		Alpha:          10 * time.Millisecond,
+		Rhos:           []float64{45, 90, 135, 180, 270, 360, 450, 540, 720, 1080},
+		BaseSeed:       1,
+		Jitter:         0.05,
+	}
+}
+
+// QuickScale is a down-scaled configuration for tests and benchmarks: 3
+// clusters of 4 (N = 12), preserving the three ρ regimes around the
+// smaller N.
+func QuickScale() Scale {
+	return Scale{
+		Clusters:       3,
+		AppsPerCluster: 4,
+		LocalRTT:       time.Millisecond,
+		RemoteRTT:      20 * time.Millisecond,
+		CSPerProcess:   10,
+		Repetitions:    2,
+		Alpha:          5 * time.Millisecond,
+		Rhos:           []float64{3, 6, 12, 24, 36, 48, 72},
+		BaseSeed:       1,
+		Jitter:         0.05,
+	}
+}
+
+// Point is the aggregate of all repetitions of one (system, ρ) cell.
+type Point struct {
+	System string
+	Rho    float64
+	// Obtaining aggregates the obtaining time in milliseconds across
+	// all repetitions' grants.
+	Obtaining stats.Summary
+	// InterMsgsPerCS / IntraMsgsPerCS / TotalMsgsPerCS are sent-message
+	// counts normalized per critical section.
+	InterMsgsPerCS, IntraMsgsPerCS, TotalMsgsPerCS float64
+	// InterBytesPerCS normalizes modeled wire bytes crossing cluster
+	// boundaries per critical section.
+	InterBytesPerCS float64
+	// Grants counts critical sections entered across repetitions.
+	Grants int64
+	// Switches counts committed adaptive algorithm switches across
+	// repetitions (adaptive systems only).
+	Switches int64
+	// PhaseObtaining breaks the obtaining time down by workload phase
+	// (phased runs only), binned by grant instant.
+	PhaseObtaining []stats.Summary
+	// Fairness is Jain's fairness index over the per-process mean
+	// obtaining times: 1 means every process waited equally on average.
+	Fairness float64
+	// Handoffs counts inter-token handoffs across repetitions; BiasRounds
+	// counts extra local serving rounds inserted by the local-bias policy.
+	Handoffs, BiasRounds int64
+	// PerCluster breaks the obtaining time down by the requester's
+	// cluster, exposing the grid's latency heterogeneity.
+	PerCluster []stats.Summary
+	// CIHalf is the half-width of the 95% confidence interval of the
+	// mean obtaining time, computed over the per-repetition means (0
+	// with fewer than 2 repetitions).
+	CIHalf float64
+}
+
+// Result is a full experiment: one Point per (system, ρ).
+type Result struct {
+	Systems []System
+	Scale   Scale
+	Points  []Point // len(Systems) * len(Rhos), system-major
+}
+
+// Point returns the cell for (system name, rho), or nil.
+func (r *Result) Point(system string, rho float64) *Point {
+	for i := range r.Points {
+		if r.Points[i].System == system && r.Points[i].Rho == rho {
+			return &r.Points[i]
+		}
+	}
+	return nil
+}
+
+// Run executes the experiment: every system at every ρ, Repetitions times
+// each. Progress, when non-nil, receives a line per completed cell.
+func Run(systems []System, scale Scale, progress func(string)) (*Result, error) {
+	res := &Result{Systems: systems, Scale: scale}
+	for _, sys := range systems {
+		for _, rho := range scale.Rhos {
+			p, err := runCell(sys, scale, rho)
+			if err != nil {
+				return nil, fmt.Errorf("harness: %s at rho=%g: %w", sys.Name, rho, err)
+			}
+			res.Points = append(res.Points, *p)
+			if progress != nil {
+				progress(fmt.Sprintf("%-22s rho=%6.0f  obtain=%8.2fms  inter/CS=%6.2f",
+					sys.Name, rho, p.Obtaining.Mean, p.InterMsgsPerCS))
+			}
+		}
+	}
+	return res, nil
+}
+
+func runCell(sys System, scale Scale, rho float64) (*Point, error) {
+	var obtain stats.Accumulator
+	phaseObtain := make([]stats.Accumulator, len(scale.Phases))
+	var perCluster []stats.Accumulator
+	var repMeans []float64
+	perProc := make(map[mutex.ID]*stats.Accumulator)
+	var interMsgs, intraMsgs, totalMsgs, interBytes, grants, switches int64
+	var handoffs, biasRounds int64
+	for rep := 0; rep < scale.Repetitions; rep++ {
+		seed := scale.BaseSeed + int64(rep)*1_000_003 + int64(rho*7919)
+		out, err := runOnce(sys, scale, rho, seed)
+		if err != nil {
+			return nil, fmt.Errorf("repetition %d: %w", rep, err)
+		}
+		var repObtain stats.Accumulator
+		repObtain.Compact = true
+		for _, r := range out.records {
+			ms := float64(r.Obtaining()) / float64(time.Millisecond)
+			obtain.Push(ms)
+			repObtain.Push(ms)
+			if len(scale.Phases) > 0 {
+				phaseObtain[phaseOf(scale.Phases, r.AcquiredAt)].Push(ms)
+			}
+			pp := perProc[r.ID]
+			if pp == nil {
+				pp = &stats.Accumulator{Compact: true}
+				perProc[r.ID] = pp
+			}
+			pp.Push(ms)
+			for r.Cluster >= len(perCluster) {
+				perCluster = append(perCluster, stats.Accumulator{Compact: true})
+			}
+			perCluster[r.Cluster].Push(ms)
+		}
+		repMeans = append(repMeans, repObtain.Mean())
+		grants += int64(len(out.records))
+		interMsgs += out.counters.InterMessages
+		intraMsgs += out.counters.IntraMessages
+		totalMsgs += out.counters.Messages
+		interBytes += out.counters.InterBytes
+		switches += out.switches
+		handoffs += out.handoffs
+		biasRounds += out.biasRounds
+	}
+	p := &Point{System: sys.Name, Rho: rho, Obtaining: obtain.Summarize(), Grants: grants, Switches: switches}
+	for i := range phaseObtain {
+		p.PhaseObtaining = append(p.PhaseObtaining, phaseObtain[i].Summarize())
+	}
+	means := make([]float64, 0, len(perProc))
+	for _, pp := range perProc {
+		means = append(means, pp.Mean())
+	}
+	p.Fairness = stats.JainIndex(means)
+	p.Handoffs = handoffs
+	p.BiasRounds = biasRounds
+	p.CIHalf = stats.CI95Half(repMeans)
+	for i := range perCluster {
+		p.PerCluster = append(p.PerCluster, perCluster[i].Summarize())
+	}
+	if grants > 0 {
+		g := float64(grants)
+		p.InterMsgsPerCS = float64(interMsgs) / g
+		p.IntraMsgsPerCS = float64(intraMsgs) / g
+		p.TotalMsgsPerCS = float64(totalMsgs) / g
+		p.InterBytesPerCS = float64(interBytes) / g
+	}
+	return p, nil
+}
+
+// grid builds the run topology: composed deployments reserve one extra
+// node per cluster for the coordinator so that the application process
+// count matches flat runs.
+func grid(sys System, scale Scale) (*topology.Grid, error) {
+	per := scale.AppsPerCluster
+	if sys.Flat == "" {
+		per++
+	}
+	if scale.CustomMatrix != nil {
+		return scale.CustomMatrix.Grid(per)
+	}
+	if scale.UseGrid5000 {
+		if scale.Clusters != 9 {
+			return nil, fmt.Errorf("grid5000 topology has 9 clusters, not %d", scale.Clusters)
+		}
+		return topology.Grid5000(per), nil
+	}
+	local, remote := scale.LocalRTT, scale.RemoteRTT
+	if local <= 0 {
+		local = time.Millisecond
+	}
+	if remote <= 0 {
+		remote = 20 * time.Millisecond
+	}
+	return topology.Uniform(scale.Clusters, per, local, remote), nil
+}
+
+// outcome is what one simulation run yields.
+type outcome struct {
+	records  []workload.Record
+	counters simnet.Counters
+	// switches is the number of committed adaptive switches (adaptive
+	// systems only).
+	switches int64
+	// handoffs and biasRounds aggregate coordinator stats.
+	handoffs, biasRounds int64
+}
+
+func runOnce(sys System, scale Scale, rho float64, seed int64) (outcome, error) {
+	g, err := grid(sys, scale)
+	if err != nil {
+		return outcome{}, err
+	}
+	sim := des.New()
+	net := simnet.New(sim, g, simnet.Options{Jitter: scale.Jitter, Seed: seed, Loss: scale.Loss})
+	var fabric mutex.Fabric = net
+	if scale.Reliable {
+		// RTO above the largest simulated round trip keeps spurious
+		// retransmissions rare.
+		fabric = reliable.Wrap(net, sim, reliable.Options{RTO: 4 * scale.RemoteRTT})
+	}
+	mon := check.NewMonitor(sim)
+	runner, err := workload.NewRunner(sim, workload.Params{
+		Alpha: scale.Alpha, Rho: rho, Phases: scale.Phases, Dist: workload.Exponential,
+		CSPerProcess: scale.CSPerProcess, Seed: seed,
+		HotCluster: scale.HotCluster, HotSkew: scale.HotSkew,
+	}, mon)
+	if err != nil {
+		return outcome{}, err
+	}
+	var coordOpts []func(*core.Coordinator)
+	if sys.LocalBias > 0 {
+		k := sys.LocalBias
+		coordOpts = append(coordOpts, func(c *core.Coordinator) { c.SetLocalBias(k) })
+	}
+	var d *core.Deployment
+	switch {
+	case sys.Flat != "":
+		d, err = core.BuildFlat(fabric, g, sys.Flat, runner.Callbacks)
+	case sys.AdaptiveInter:
+		var intraF mutex.Factory
+		intraF, err = algorithms.Factory(sys.Spec.Intra)
+		if err != nil {
+			return outcome{}, err
+		}
+		var adaptF mutex.Factory
+		adaptF, err = adaptive.NewFactory(adaptive.Config{
+			Initial: sys.Spec.Inter,
+			NewPolicy: func() adaptive.Policy {
+				return adaptive.NewGapPolicy(sim.Now, scale.Alpha)
+			},
+		})
+		if err != nil {
+			return outcome{}, err
+		}
+		d, err = core.BuildMultiLevelWith(fabric, g, []mutex.Factory{intraF, adaptF}, nil, runner.Callbacks, coordOpts...)
+	default:
+		d, err = core.BuildComposed(fabric, g, sys.Spec, runner.Callbacks, coordOpts...)
+	}
+	if err != nil {
+		return outcome{}, err
+	}
+	runner.Bind(d.Apps)
+	runner.Start()
+	// The watchdog reports a precise stall instant long before the event
+	// cap would: a waiting request is granted within fractions of the
+	// interval under any load, so a full interval of global silence
+	// while requests wait is a deadlock.
+	mon.WatchLiveness(runner.Waiting, runner.Done, 2000*scale.Alpha)
+	limit := uint64(runner.ExpectedTotal())*10_000 + 1_000_000
+	if err := sim.RunCapped(limit); err != nil {
+		return outcome{}, fmt.Errorf("did not drain: %w (outstanding %d)", err, runner.Outstanding())
+	}
+	mon.AssertQuiescent()
+	if !mon.Ok() {
+		return outcome{}, fmt.Errorf("property violation: %s", mon.Violations()[0])
+	}
+	if !runner.Done() {
+		return outcome{}, fmt.Errorf("liveness: %d requests unsatisfied", runner.Outstanding())
+	}
+	out := outcome{records: runner.Records(), counters: net.Counters()}
+	for _, c := range d.Coordinators {
+		out.handoffs += c.Stats().InterHandoffs
+		out.biasRounds += c.Stats().BiasRounds
+	}
+	if sys.AdaptiveInter && len(d.Coordinators) > 0 {
+		proc := d.Procs[d.Coordinators[0].ID()]
+		if w, ok := proc.Instance(1).(*adaptive.Instance); ok {
+			out.switches = w.Generation()
+		}
+	}
+	return out, nil
+}
+
+// phaseOf returns the index of the phase in force at virtual instant t.
+func phaseOf(phases []workload.Phase, t des.Time) int {
+	for i := range phases {
+		if i == len(phases)-1 || t < phases[i].Until {
+			return i
+		}
+	}
+	return len(phases) - 1
+}

@@ -1,0 +1,156 @@
+package livenet
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"gridmutex/internal/core"
+	"gridmutex/internal/mutex"
+)
+
+// Handle is a blocking mutual-exclusion facade over one application
+// process's algorithm instance: Lock blocks until the critical section is
+// granted, Unlock releases it. A Handle is safe for concurrent use; lock
+// attempts serialize.
+type Handle struct {
+	id       mutex.ID
+	post     func(func())
+	inst     mutex.Instance
+	acquired chan struct{}
+	owner    chan struct{} // capacity-1 semaphore over the Lock..Unlock span
+}
+
+func newHandle(id mutex.ID) *Handle {
+	return &Handle{
+		id:       id,
+		acquired: make(chan struct{}, 1),
+		owner:    make(chan struct{}, 1),
+	}
+}
+
+// ID returns the process this handle controls.
+func (h *Handle) ID() mutex.ID { return h.id }
+
+// callbacks are the instance callbacks the handle needs.
+func (h *Handle) callbacks() mutex.Callbacks {
+	return mutex.Callbacks{OnAcquire: func() {
+		select {
+		case h.acquired <- struct{}{}:
+		default:
+			panic(fmt.Sprintf("livenet: unexpected second acquire for %d", h.id))
+		}
+	}}
+}
+
+func (h *Handle) bind(inst mutex.Instance, post func(func())) {
+	h.inst = inst
+	h.post = post
+}
+
+// Lock acquires the distributed critical section, blocking until it is
+// granted or ctx is cancelled. On cancellation Lock returns ctx.Err() and
+// the eventual grant is released automatically in the background, so the
+// protocol stays consistent.
+func (h *Handle) Lock(ctx context.Context) error {
+	if h.inst == nil {
+		panic("livenet: handle not bound to a deployment")
+	}
+	select {
+	case h.owner <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	h.post(func() { h.inst.Request() })
+	select {
+	case <-h.acquired:
+		return nil
+	case <-ctx.Done():
+		// The request cannot be retracted; release the section as
+		// soon as it is granted.
+		go func() {
+			<-h.acquired
+			h.post(func() { h.inst.Release() })
+			<-h.owner
+		}()
+		return ctx.Err()
+	}
+}
+
+// Unlock releases the critical section acquired by a successful Lock. The
+// Release is posted to the process mailbox before ownership is handed
+// back, so a concurrent Lock's Request is always queued behind it.
+func (h *Handle) Unlock() {
+	select {
+	case h.owner <- struct{}{}:
+		<-h.owner
+		panic("livenet: Unlock without a held Lock")
+	default:
+	}
+	h.post(func() { h.inst.Release() })
+	<-h.owner
+}
+
+// Handles owns the blocking facades of a deployment's application
+// processes. Create it before building the deployment, pass Callbacks to
+// the builder, then Bind the built apps:
+//
+//	hs := livenet.NewHandles(net)
+//	d, err := core.BuildComposed(net, grid, spec, hs.Callbacks)
+//	hs.Bind(d.Apps)
+//	hs.Get(appID).Lock(ctx)
+type Handles struct {
+	net Poster
+	mu  sync.Mutex
+	m   map[mutex.ID]*Handle
+}
+
+// Poster schedules a closure on a process's serial context; both the
+// in-process Network and the UDPNetwork implement it.
+type Poster interface {
+	Post(id mutex.ID, f func())
+}
+
+// NewHandles creates an empty handle set over the network.
+func NewHandles(net Poster) *Handles {
+	return &Handles{net: net, m: make(map[mutex.ID]*Handle)}
+}
+
+// Callbacks is the core.CallbackFunc to pass to a deployment builder.
+func (hs *Handles) Callbacks(id mutex.ID) mutex.Callbacks {
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	h, ok := hs.m[id]
+	if !ok {
+		h = newHandle(id)
+		hs.m[id] = h
+	}
+	return h.callbacks()
+}
+
+// Bind attaches built application instances to their handles.
+func (hs *Handles) Bind(apps []core.App) {
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	for _, a := range apps {
+		h, ok := hs.m[a.ID]
+		if !ok {
+			// The instance was built without this handle's OnAcquire
+			// callback, so Lock could never return. Fail loudly.
+			panic(fmt.Sprintf("livenet: app %d built without Handles.Callbacks — pass it to the deployment builder", a.ID))
+		}
+		id := a.ID
+		h.bind(a.Instance, func(f func()) { hs.net.Post(id, f) })
+	}
+}
+
+// Get returns the handle for an application process.
+func (hs *Handles) Get(id mutex.ID) *Handle {
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	h, ok := hs.m[id]
+	if !ok {
+		panic(fmt.Sprintf("livenet: no handle for process %d", id))
+	}
+	return h
+}

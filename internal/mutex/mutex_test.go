@@ -1,0 +1,58 @@
+package mutex
+
+import "testing"
+
+type nopEnv struct{}
+
+func (nopEnv) Send(ID, Message) {}
+func (nopEnv) Local(func())     {}
+
+func validConfig() Config {
+	return Config{Self: 1, Members: []ID{0, 1, 2}, Holder: 0, Env: nopEnv{}}
+}
+
+func TestConfigValidateOK(t *testing.T) {
+	if err := validConfig().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestConfigValidateErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"nil env", func(c *Config) { c.Env = nil }},
+		{"no members", func(c *Config) { c.Members = nil }},
+		{"self not member", func(c *Config) { c.Self = 9 }},
+		{"holder not member", func(c *Config) { c.Holder = 9 }},
+		{"duplicate member", func(c *Config) { c.Members = []ID{0, 1, 1} }},
+	}
+	for _, tc := range cases {
+		c := validConfig()
+		tc.mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted bad config", tc.name)
+		}
+	}
+}
+
+func TestConfigIndex(t *testing.T) {
+	c := Config{Members: []ID{5, 7, 9}}
+	for i, id := range c.Members {
+		if got := c.Index(id); got != i {
+			t.Errorf("Index(%d) = %d, want %d", id, got, i)
+		}
+	}
+	if got := c.Index(42); got != -1 {
+		t.Errorf("Index(42) = %d, want -1", got)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{NoReq: "NO_REQ", Req: "REQ", InCS: "CS", State(9): "State(9)"} {
+		if got := s.String(); got != want {
+			t.Errorf("State(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+}

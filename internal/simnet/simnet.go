@@ -1,0 +1,214 @@
+// Package simnet provides the simulated grid network: a mutex.Env
+// implementation on top of the discrete-event simulator, with per-link
+// latencies taken from a topology.Grid and the message accounting the
+// paper's evaluation reports (total / intra-cluster / inter-cluster message
+// and byte counts).
+//
+// Addresses are process identifiers: mutex.ID values equal to the global
+// node index in the topology. One handler is registered per process; the
+// composition layer multiplexes several algorithm instances behind a single
+// process handler.
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"gridmutex/internal/des"
+	"gridmutex/internal/mutex"
+	"gridmutex/internal/trace"
+)
+
+// Handler receives messages addressed to a process; it is the fabric-wide
+// handler contract of the mutex package.
+type Handler = mutex.Handler
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(from mutex.ID, m mutex.Message)
+
+// Deliver calls f(from, m).
+func (f HandlerFunc) Deliver(from mutex.ID, m mutex.Message) { f(from, m) }
+
+// Options tune the network model.
+type Options struct {
+	// Jitter is the maximum fractional latency increase applied per
+	// message: the delay of each message is multiplied by a uniform
+	// factor in [1, 1+Jitter]. Zero means fixed latencies.
+	Jitter float64
+	// Seed seeds the jitter generator; runs with equal seeds are
+	// identical.
+	Seed int64
+	// Trace, when non-nil, records every send and delivery.
+	Trace *trace.Tracer
+	// Loss drops each message with this probability (deterministic per
+	// Seed). The token algorithms assume reliable channels, so a lossy
+	// network needs the reliable wrapper on top to stay live.
+	Loss float64
+}
+
+// link identifies an ordered sender/receiver pair for FIFO enforcement.
+type link struct{ from, to mutex.ID }
+
+// Network simulates the grid's message fabric.
+type Network struct {
+	sim      *des.Simulator
+	grid     gridModel
+	opts     Options
+	rng      *rand.Rand
+	handlers map[mutex.ID]Handler
+	nodeOf   map[mutex.ID]int // logical process -> physical topology node
+	lastAt   map[link]des.Time
+	counters Counters
+}
+
+// gridModel is the slice of topology.Grid the network needs; an interface
+// keeps simnet testable with synthetic latency functions.
+type gridModel interface {
+	NumNodes() int
+	OneWay(from, to int) time.Duration
+	SameCluster(a, b int) bool
+}
+
+// New builds a network over sim using grid latencies.
+func New(sim *des.Simulator, grid gridModel, opts Options) *Network {
+	if opts.Jitter < 0 {
+		panic("simnet: negative jitter")
+	}
+	if opts.Loss < 0 || opts.Loss >= 1 {
+		if opts.Loss != 0 {
+			panic("simnet: loss must be in [0, 1)")
+		}
+	}
+	return &Network{
+		sim:      sim,
+		grid:     grid,
+		opts:     opts,
+		rng:      rand.New(rand.NewSource(opts.Seed)),
+		handlers: make(map[mutex.ID]Handler),
+		nodeOf:   make(map[mutex.ID]int),
+		lastAt:   make(map[link]des.Time),
+	}
+}
+
+// Register installs the handler for process id, hosted on the physical node
+// with the same index. Registering an id twice or an id outside the
+// topology panics: both are wiring bugs.
+func (n *Network) Register(id mutex.ID, h Handler) {
+	n.RegisterAt(id, int(id), h)
+}
+
+// RegisterAt installs the handler for logical process id hosted on physical
+// topology node. Several logical processes may share one physical node
+// (e.g. a multi-level hierarchy co-locating a region coordinator with a
+// cluster coordinator); latency and intra/inter classification follow the
+// physical node.
+func (n *Network) RegisterAt(id mutex.ID, node int, h Handler) {
+	if node < 0 || node >= n.grid.NumNodes() {
+		panic(fmt.Sprintf("simnet: node %d outside topology of %d nodes", node, n.grid.NumNodes()))
+	}
+	if _, dup := n.handlers[id]; dup {
+		panic(fmt.Sprintf("simnet: process %d registered twice", id))
+	}
+	if h == nil {
+		panic("simnet: nil handler")
+	}
+	n.handlers[id] = h
+	n.nodeOf[id] = node
+}
+
+// Endpoint returns the mutex.Env bound to process id. The process must be
+// Registered before any message addressed to it arrives.
+func (n *Network) Endpoint(id mutex.ID) mutex.Env {
+	return &endpoint{net: n, self: id}
+}
+
+// Counters returns a snapshot of the message accounting so far.
+func (n *Network) Counters() Counters { return n.counters }
+
+// ResetCounters zeroes the accounting (used to exclude warm-up phases).
+func (n *Network) ResetCounters() { n.counters = Counters{} }
+
+// send implements transmission with latency, jitter, FIFO per ordered link
+// and accounting.
+func (n *Network) send(from, to mutex.ID, m mutex.Message) {
+	if m == nil {
+		panic("simnet: nil message")
+	}
+	h, ok := n.handlers[to]
+	if !ok {
+		panic(fmt.Sprintf("simnet: message %s from %d to unregistered process %d", m.Kind(), from, to))
+	}
+	fromNode, ok := n.nodeOf[from]
+	if !ok {
+		panic(fmt.Sprintf("simnet: message %s sent by unregistered process %d", m.Kind(), from))
+	}
+	toNode := n.nodeOf[to]
+	n.counters.note(m, n.grid.SameCluster(fromNode, toNode))
+	n.opts.Trace.Record(trace.Send, from, to, m.Kind())
+	if n.opts.Loss > 0 && n.rng.Float64() < n.opts.Loss {
+		n.counters.Dropped++
+		return
+	}
+	delay := n.grid.OneWay(fromNode, toNode)
+	if n.opts.Jitter > 0 {
+		delay = time.Duration(float64(delay) * (1 + n.opts.Jitter*n.rng.Float64()))
+	}
+	at := n.sim.Now() + delay
+	// FIFO per ordered pair: never deliver before an earlier message on
+	// the same link.
+	l := link{from, to}
+	if last, ok := n.lastAt[l]; ok && at <= last {
+		at = last + time.Nanosecond
+	}
+	n.lastAt[l] = at
+	n.sim.At(at, func() {
+		n.opts.Trace.Record(trace.Deliver, from, to, m.Kind())
+		h.Deliver(from, m)
+	})
+}
+
+// endpoint is the per-process mutex.Env.
+type endpoint struct {
+	net  *Network
+	self mutex.ID
+}
+
+func (e *endpoint) Send(to mutex.ID, m mutex.Message) { e.net.send(e.self, to, m) }
+
+// Local schedules f at the current instant; FIFO ordering of the event
+// queue guarantees it runs after the handler that scheduled it.
+func (e *endpoint) Local(f func()) { e.net.sim.After(0, f) }
+
+// Counters aggregates message traffic, split the way the paper reports it.
+type Counters struct {
+	// Messages and Bytes count every message sent.
+	Messages, Bytes int64
+	// Intra* count messages whose sender and receiver share a cluster.
+	IntraMessages, IntraBytes int64
+	// Inter* count messages crossing a cluster boundary — the quantity
+	// of Figure 4(b).
+	InterMessages, InterBytes int64
+	// ByKind counts messages per Message.Kind.
+	ByKind map[string]int64
+	// Dropped counts messages lost to injected loss (they are included
+	// in the send counts above).
+	Dropped int64
+}
+
+func (c *Counters) note(m mutex.Message, sameCluster bool) {
+	size := int64(m.Size())
+	c.Messages++
+	c.Bytes += size
+	if sameCluster {
+		c.IntraMessages++
+		c.IntraBytes += size
+	} else {
+		c.InterMessages++
+		c.InterBytes += size
+	}
+	if c.ByKind == nil {
+		c.ByKind = make(map[string]int64)
+	}
+	c.ByKind[m.Kind()]++
+}

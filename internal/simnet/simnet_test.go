@@ -1,0 +1,263 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"gridmutex/internal/des"
+	"gridmutex/internal/mutex"
+	"gridmutex/internal/topology"
+)
+
+// ping is a minimal message for transport tests.
+type ping struct {
+	kind string
+	size int
+}
+
+func (p ping) Kind() string { return p.kind }
+func (p ping) Size() int    { return p.size }
+
+type delivery struct {
+	at   des.Time
+	from mutex.ID
+	m    mutex.Message
+}
+
+type recorder struct {
+	sim *des.Simulator
+	got []delivery
+}
+
+func (r *recorder) Deliver(from mutex.ID, m mutex.Message) {
+	r.got = append(r.got, delivery{r.sim.Now(), from, m})
+}
+
+func twoClusterNet(t *testing.T, opts Options) (*des.Simulator, *Network, *recorder, *recorder) {
+	t.Helper()
+	sim := des.New()
+	// 2 clusters of 2 nodes; 2ms local RTT, 20ms remote RTT.
+	g := topology.Uniform(2, 2, 2*time.Millisecond, 20*time.Millisecond)
+	n := New(sim, g, opts)
+	r0, r2 := &recorder{sim: sim}, &recorder{sim: sim}
+	n.Register(0, r0)
+	n.Register(2, r2)
+	return sim, n, r0, r2
+}
+
+func TestLatencyIntraVsInter(t *testing.T) {
+	sim, n, r0, r2 := twoClusterNet(t, Options{})
+	n.Register(1, HandlerFunc(func(mutex.ID, mutex.Message) {}))
+	ep1 := n.Endpoint(1)
+	ep1.Send(0, ping{"p", 10}) // intra: one-way 1ms
+	ep1.Send(2, ping{"p", 10}) // inter: one-way 10ms
+	sim.Run()
+	if len(r0.got) != 1 || r0.got[0].at != time.Millisecond {
+		t.Fatalf("intra delivery %+v, want at 1ms", r0.got)
+	}
+	if len(r2.got) != 1 || r2.got[0].at != 10*time.Millisecond {
+		t.Fatalf("inter delivery %+v, want at 10ms", r2.got)
+	}
+	if r2.got[0].from != 1 {
+		t.Fatalf("from = %d, want 1", r2.got[0].from)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	sim, n, _, _ := twoClusterNet(t, Options{})
+	n.Register(1, HandlerFunc(func(mutex.ID, mutex.Message) {}))
+	ep1 := n.Endpoint(1)
+	ep1.Send(0, ping{"a", 10})
+	ep1.Send(2, ping{"b", 100})
+	ep1.Send(2, ping{"b", 100})
+	sim.Run()
+	c := n.Counters()
+	if c.Messages != 3 || c.Bytes != 210 {
+		t.Errorf("total = %d msgs / %d bytes, want 3 / 210", c.Messages, c.Bytes)
+	}
+	if c.IntraMessages != 1 || c.IntraBytes != 10 {
+		t.Errorf("intra = %d / %d, want 1 / 10", c.IntraMessages, c.IntraBytes)
+	}
+	if c.InterMessages != 2 || c.InterBytes != 200 {
+		t.Errorf("inter = %d / %d, want 2 / 200", c.InterMessages, c.InterBytes)
+	}
+	if c.ByKind["a"] != 1 || c.ByKind["b"] != 2 {
+		t.Errorf("ByKind = %v", c.ByKind)
+	}
+	n.ResetCounters()
+	if got := n.Counters(); got.Messages != 0 || got.ByKind != nil {
+		t.Errorf("ResetCounters left %+v", got)
+	}
+}
+
+func TestFIFOPerLinkUnderJitter(t *testing.T) {
+	sim, n, _, r2 := twoClusterNet(t, Options{Jitter: 0.9, Seed: 42})
+	ep0 := n.Endpoint(0)
+	const k = 50
+	for i := 0; i < k; i++ {
+		i := i
+		sim.At(des.Time(i)*time.Microsecond, func() { ep0.Send(2, ping{"seq", i}) })
+	}
+	sim.Run()
+	if len(r2.got) != k {
+		t.Fatalf("delivered %d, want %d", len(r2.got), k)
+	}
+	for i, d := range r2.got {
+		if d.m.(ping).size != i {
+			t.Fatalf("message %d delivered out of order (got payload %d)", i, d.m.(ping).size)
+		}
+		if i > 0 && d.at <= r2.got[i-1].at {
+			t.Fatalf("non-increasing delivery times at %d: %v then %v", i, r2.got[i-1].at, d.at)
+		}
+	}
+}
+
+func TestJitterDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) []des.Time {
+		sim, n, _, r2 := twoClusterNet(t, Options{Jitter: 0.5, Seed: seed})
+		ep0 := n.Endpoint(0)
+		for i := 0; i < 10; i++ {
+			sim.At(des.Time(i)*time.Millisecond, func() { ep0.Send(2, ping{"p", 1}) })
+		}
+		sim.Run()
+		out := make([]des.Time, len(r2.got))
+		for i, d := range r2.got {
+			out[i] = d.at
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter")
+	}
+}
+
+func TestLocalRunsAfterCurrentHandler(t *testing.T) {
+	sim := des.New()
+	g := topology.Single(2, time.Millisecond)
+	n := New(sim, g, Options{})
+	var order []string
+	ep0 := n.Endpoint(0)
+	n.Register(0, HandlerFunc(func(mutex.ID, mutex.Message) {}))
+	n.Register(1, HandlerFunc(func(from mutex.ID, m mutex.Message) {
+		ep1 := n.Endpoint(1)
+		ep1.Local(func() { order = append(order, "local") })
+		order = append(order, "handler")
+	}))
+	ep0.Send(1, ping{"p", 1})
+	sim.Run()
+	if len(order) != 2 || order[0] != "handler" || order[1] != "local" {
+		t.Fatalf("order = %v, want [handler local]", order)
+	}
+}
+
+func TestSelfSendDelivers(t *testing.T) {
+	sim := des.New()
+	g := topology.Single(1, 2*time.Millisecond)
+	n := New(sim, g, Options{})
+	r := &recorder{sim: sim}
+	n.Register(0, r)
+	n.Endpoint(0).Send(0, ping{"self", 1})
+	sim.Run()
+	if len(r.got) != 1 || r.got[0].at != time.Millisecond {
+		t.Fatalf("self-send: %+v", r.got)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	sim := des.New()
+	g := topology.Single(2, time.Millisecond)
+	n := New(sim, g, Options{})
+	n.Register(0, HandlerFunc(func(mutex.ID, mutex.Message) {}))
+
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("duplicate register", func() { n.Register(0, HandlerFunc(func(mutex.ID, mutex.Message) {})) })
+	expectPanic("out of range register", func() { n.Register(99, HandlerFunc(func(mutex.ID, mutex.Message) {})) })
+	expectPanic("nil handler", func() { n.Register(1, nil) })
+	expectPanic("send to unregistered", func() { n.Endpoint(0).Send(1, ping{"p", 1}) })
+	expectPanic("nil message", func() { n.Endpoint(0).Send(0, nil) })
+	expectPanic("negative jitter", func() { New(sim, g, Options{Jitter: -1}) })
+}
+
+func TestLossInjection(t *testing.T) {
+	sim := des.New()
+	g := topology.Single(2, 2*time.Millisecond)
+	n := New(sim, g, Options{Loss: 0.5, Seed: 11})
+	delivered := 0
+	n.Register(0, HandlerFunc(func(mutex.ID, mutex.Message) {}))
+	n.Register(1, HandlerFunc(func(mutex.ID, mutex.Message) { delivered++ }))
+	ep := n.Endpoint(0)
+	const k = 400
+	for i := 0; i < k; i++ {
+		ep.Send(1, ping{"p", 1})
+	}
+	sim.Run()
+	c := n.Counters()
+	if c.Messages != k {
+		t.Fatalf("sent accounting %d, want %d (drops still count as sends)", c.Messages, k)
+	}
+	if c.Dropped == 0 || c.Dropped == k {
+		t.Fatalf("Dropped = %d, want strictly between 0 and %d", c.Dropped, k)
+	}
+	if int64(delivered)+c.Dropped != k {
+		t.Fatalf("delivered %d + dropped %d != %d", delivered, c.Dropped, k)
+	}
+	// 50% loss: expect within generous bounds.
+	if c.Dropped < k/4 || c.Dropped > 3*k/4 {
+		t.Fatalf("Dropped = %d, implausible for 50%% loss of %d", c.Dropped, k)
+	}
+}
+
+func TestLossValidation(t *testing.T) {
+	sim := des.New()
+	g := topology.Single(1, time.Millisecond)
+	for _, bad := range []float64{-0.1, 1.0, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("loss %v accepted", bad)
+				}
+			}()
+			New(sim, g, Options{Loss: bad})
+		}()
+	}
+}
+
+// TestRegisterAtColocation: two logical processes on one physical node
+// exchange messages at intra-node latency.
+func TestRegisterAtColocation(t *testing.T) {
+	sim := des.New()
+	g := topology.Uniform(2, 1, 2*time.Millisecond, 20*time.Millisecond)
+	n := New(sim, g, Options{})
+	var at des.Time
+	n.RegisterAt(0, 0, HandlerFunc(func(mutex.ID, mutex.Message) {}))
+	n.RegisterAt(7, 0, HandlerFunc(func(mutex.ID, mutex.Message) { at = sim.Now() })) // co-located logical process
+	n.Endpoint(0).Send(7, ping{"p", 1})
+	sim.Run()
+	if at != time.Millisecond {
+		t.Fatalf("co-located delivery at %v, want 1ms (local latency)", at)
+	}
+	if n.Counters().InterMessages != 0 {
+		t.Fatal("co-located traffic misclassified as inter-cluster")
+	}
+}

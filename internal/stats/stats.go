@@ -1,0 +1,215 @@
+// Package stats provides the summary statistics the paper's evaluation
+// reports: mean, standard deviation (figure 5(a)) and relative standard
+// deviation σ/mean (figure 5(b)), plus percentiles for richer analysis.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Accumulator aggregates samples with Welford's online algorithm, so
+// million-sample runs need no buffering; Push also retains samples for
+// percentile queries unless Compact is set.
+type Accumulator struct {
+	// Compact discards individual samples (percentiles unavailable).
+	Compact bool
+
+	n            int64
+	mean, m2     float64
+	min, max     float64
+	samples      []float64
+	sortedDirty  bool
+	sortedSample []float64
+}
+
+// Push adds one sample.
+func (a *Accumulator) Push(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+	if !a.Compact {
+		a.samples = append(a.samples, x)
+		a.sortedDirty = true
+	}
+}
+
+// N returns the sample count.
+func (a *Accumulator) N() int64 { return a.n }
+
+// Mean returns the sample mean, or 0 with no samples.
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Var returns the unbiased sample variance.
+func (a *Accumulator) Var() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// Std returns the sample standard deviation σ.
+func (a *Accumulator) Std() float64 { return math.Sqrt(a.Var()) }
+
+// RelStd returns σ/mean, the relative deviation of figure 5(b); it is 0
+// when the mean is 0.
+func (a *Accumulator) RelStd() float64 {
+	if a.mean == 0 {
+		return 0
+	}
+	return a.Std() / a.mean
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest sample, or 0 with no samples.
+func (a *Accumulator) Max() float64 { return a.max }
+
+// Percentile returns the p-quantile (0 <= p <= 1) by linear interpolation;
+// it panics if sample retention was disabled or p is out of range.
+func (a *Accumulator) Percentile(p float64) float64 {
+	if a.Compact {
+		panic("stats: percentiles unavailable in compact mode")
+	}
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("stats: percentile %v out of [0,1]", p))
+	}
+	if a.n == 0 {
+		return 0
+	}
+	if a.sortedDirty {
+		a.sortedSample = append(a.sortedSample[:0], a.samples...)
+		sort.Float64s(a.sortedSample)
+		a.sortedDirty = false
+	}
+	s := a.sortedSample
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := p * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Summary is a plain-value snapshot of an accumulator.
+type Summary struct {
+	N                   int64
+	Mean, Std, RelStd   float64
+	Min, Max            float64
+	P50, P95, P99       float64
+	PercentilesComputed bool
+}
+
+// Summarize snapshots the accumulator.
+func (a *Accumulator) Summarize() Summary {
+	s := Summary{
+		N: a.n, Mean: a.Mean(), Std: a.Std(), RelStd: a.RelStd(),
+		Min: a.min, Max: a.max,
+	}
+	if !a.Compact && a.n > 0 {
+		s.P50 = a.Percentile(0.50)
+		s.P95 = a.Percentile(0.95)
+		s.P99 = a.Percentile(0.99)
+		s.PercentilesComputed = true
+	}
+	return s
+}
+
+// Merge folds other into a (Chan et al. parallel variance update). Sample
+// retention follows both accumulators' Compact flags.
+func (a *Accumulator) Merge(other *Accumulator) {
+	if other.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *other
+		a.samples = append([]float64(nil), other.samples...)
+		a.sortedDirty = true
+		a.sortedSample = nil
+		return
+	}
+	na, nb := float64(a.n), float64(other.n)
+	delta := other.mean - a.mean
+	total := na + nb
+	a.mean += delta * nb / total
+	a.m2 += other.m2 + delta*delta*na*nb/total
+	a.n += other.n
+	if other.min < a.min {
+		a.min = other.min
+	}
+	if other.max > a.max {
+		a.max = other.max
+	}
+	if !a.Compact && !other.Compact {
+		a.samples = append(a.samples, other.samples...)
+		a.sortedDirty = true
+	} else {
+		a.Compact = true
+		a.samples = nil
+		a.sortedSample = nil
+	}
+}
+
+// JainIndex computes Jain's fairness index of the samples:
+// (Σx)² / (n·Σx²). It is 1 when all samples are equal and approaches 1/n
+// as one sample dominates; by convention the empty set is perfectly fair.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// tCritical95 holds two-sided 95% Student-t critical values by degrees of
+// freedom (1..30); beyond 30 the normal approximation 1.96 is used.
+var tCritical95 = []float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// CI95Half returns the half-width of the two-sided 95% confidence interval
+// of the mean of xs (Student-t); it is 0 with fewer than two samples.
+func CI95Half(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	var a Accumulator
+	a.Compact = true
+	for _, x := range xs {
+		a.Push(x)
+	}
+	dof := n - 1
+	t := 1.96
+	if dof <= len(tCritical95) {
+		t = tCritical95[dof-1]
+	}
+	return t * a.Std() / math.Sqrt(float64(n))
+}

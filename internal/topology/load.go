@@ -1,0 +1,123 @@
+package topology
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Matrix is a named cluster-to-cluster RTT matrix not yet bound to node
+// counts: the reusable part of a measured topology.
+type Matrix struct {
+	Names []string
+	RTT   [][]time.Duration
+}
+
+// Grid instantiates the matrix with nodesPerCluster nodes per cluster.
+func (m *Matrix) Grid(nodesPerCluster int) (*Grid, error) {
+	if nodesPerCluster <= 0 {
+		return nil, fmt.Errorf("topology: nodesPerCluster %d must be positive", nodesPerCluster)
+	}
+	sizes := make([]int, len(m.Names))
+	for i := range sizes {
+		sizes[i] = nodesPerCluster
+	}
+	return New(m.Names, sizes, m.RTT)
+}
+
+// ParseMatrix reads a cluster RTT matrix in the textual format of the
+// paper's Figure 3 and builds a Grid with nodesPerCluster nodes in each
+// cluster:
+//
+//	# comment lines and blank lines are ignored
+//	from      orsay  grenoble  lyon
+//	orsay     0.034  15.039    9.128
+//	grenoble  14.976 0.066     3.293
+//	lyon      9.136  3.309     0.026
+//
+// The first non-comment line is the header naming the destination
+// clusters; each following row starts with the source cluster name and
+// lists the RTTs in milliseconds. Row names must match the header order.
+// This is how an operator feeds measured latencies from their own grid
+// into the simulator.
+func ParseMatrix(r io.Reader, nodesPerCluster int) (*Grid, error) {
+	m, err := ParseMatrixSpec(r)
+	if err != nil {
+		return nil, err
+	}
+	return m.Grid(nodesPerCluster)
+}
+
+// ParseMatrixSpec reads the same format as ParseMatrix but returns the
+// unbound matrix, letting callers instantiate several grid sizes from one
+// measurement file.
+func ParseMatrixSpec(r io.Reader) (*Matrix, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("topology: reading matrix: %w", err)
+	}
+	var lines []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		lines = append(lines, line)
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("topology: empty matrix")
+	}
+	header := strings.Fields(lines[0])
+	if len(header) < 2 {
+		return nil, fmt.Errorf("topology: header %q needs a label and at least one cluster", lines[0])
+	}
+	names := header[1:]
+	if len(lines)-1 != len(names) {
+		return nil, fmt.Errorf("topology: %d clusters in header but %d rows", len(names), len(lines)-1)
+	}
+
+	rtt := make([][]time.Duration, len(names))
+	for i, line := range lines[1:] {
+		fields := strings.Fields(line)
+		if len(fields) != len(names)+1 {
+			return nil, fmt.Errorf("topology: row %q has %d values, want %d", line, len(fields)-1, len(names))
+		}
+		if fields[0] != names[i] {
+			return nil, fmt.Errorf("topology: row %d is %q, want %q (rows must follow header order)", i, fields[0], names[i])
+		}
+		row := make([]time.Duration, len(names))
+		for j, f := range fields[1:] {
+			ms, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("topology: row %q column %d: %w", fields[0], j, err)
+			}
+			if ms < 0 {
+				return nil, fmt.Errorf("topology: row %q column %d: negative RTT", fields[0], j)
+			}
+			row[j] = time.Duration(ms * float64(time.Millisecond))
+		}
+		rtt[i] = row
+	}
+	return &Matrix{Names: names, RTT: rtt}, nil
+}
+
+// FormatMatrix renders the grid's RTT matrix in the format ParseMatrix
+// reads, so measured topologies round-trip through files.
+func FormatMatrix(g *Grid) string {
+	var b strings.Builder
+	b.WriteString("from")
+	for c := 0; c < g.NumClusters(); c++ {
+		fmt.Fprintf(&b, " %s", g.ClusterName(c))
+	}
+	b.WriteByte('\n')
+	for i := 0; i < g.NumClusters(); i++ {
+		b.WriteString(g.ClusterName(i))
+		for j := 0; j < g.NumClusters(); j++ {
+			fmt.Fprintf(&b, " %.3f", float64(g.RTT(i, j))/float64(time.Millisecond))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

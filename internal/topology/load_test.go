@@ -1,0 +1,80 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleMatrix = `
+# measured on our lab grid
+from      paris  lyon   nice
+paris     0.050  4.2    9.0
+lyon      4.1    0.030  6.5
+nice      9.2    6.6    0.040
+`
+
+func TestParseMatrix(t *testing.T) {
+	g, err := ParseMatrix(strings.NewReader(sampleMatrix), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumClusters() != 3 || g.NumNodes() != 15 {
+		t.Fatalf("clusters=%d nodes=%d", g.NumClusters(), g.NumNodes())
+	}
+	if g.ClusterName(1) != "lyon" {
+		t.Errorf("ClusterName(1) = %q", g.ClusterName(1))
+	}
+	if got, want := g.RTT(0, 2), 9*time.Millisecond; got != want {
+		t.Errorf("RTT(paris,nice) = %v, want %v", got, want)
+	}
+	if got, want := g.RTT(1, 1), 30*time.Microsecond; got != want {
+		t.Errorf("RTT(lyon,lyon) = %v, want %v", got, want)
+	}
+}
+
+func TestParseMatrixErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"comments only":  "# nothing here\n",
+		"header only":    "from a b\n",
+		"no clusters":    "from\nx 1\n",
+		"missing row":    "from a b\na 0 1\n",
+		"ragged row":     "from a b\na 0 1\nb 1\n",
+		"row name order": "from a b\nb 0 1\na 1 0\n",
+		"bad number":     "from a\na x\n",
+		"negative":       "from a\na -1\n",
+	}
+	for name, input := range cases {
+		if _, err := ParseMatrix(strings.NewReader(input), 2); err == nil {
+			t.Errorf("%s: parsed successfully", name)
+		}
+	}
+	if _, err := ParseMatrix(strings.NewReader(sampleMatrix), 0); err == nil {
+		t.Error("zero nodes per cluster accepted")
+	}
+}
+
+// TestMatrixRoundTrip: FormatMatrix output parses back to identical
+// latencies, including the built-in Grid'5000 matrix.
+func TestMatrixRoundTrip(t *testing.T) {
+	orig := Grid5000(3)
+	text := FormatMatrix(orig)
+	parsed, err := ParseMatrix(strings.NewReader(text), 3)
+	if err != nil {
+		t.Fatalf("round trip parse: %v\n%s", err, text)
+	}
+	if parsed.NumClusters() != orig.NumClusters() {
+		t.Fatal("cluster count changed")
+	}
+	for i := 0; i < orig.NumClusters(); i++ {
+		if parsed.ClusterName(i) != orig.ClusterName(i) {
+			t.Fatalf("name %d changed", i)
+		}
+		for j := 0; j < orig.NumClusters(); j++ {
+			if parsed.RTT(i, j) != orig.RTT(i, j) {
+				t.Fatalf("RTT(%d,%d): %v != %v", i, j, parsed.RTT(i, j), orig.RTT(i, j))
+			}
+		}
+	}
+}

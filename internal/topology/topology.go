@@ -1,0 +1,181 @@
+// Package topology models the physical layout of a grid: a federation of
+// clusters whose intra-cluster links are fast (LAN) and whose inter-cluster
+// links are slow and heterogeneous (WAN).
+//
+// Latencies are specified as cluster-to-cluster round-trip times, matching
+// how the paper reports them (Figure 3); message transmission uses the
+// one-way delay RTT/2.
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Grid describes a federation of clusters. Nodes carry global indices in
+// cluster-major order: cluster 0 owns nodes [0, size0), cluster 1 owns
+// [size0, size0+size1), and so on.
+type Grid struct {
+	names   []string
+	sizes   []int
+	firsts  []int // first global node index of each cluster
+	cluster []int // node -> cluster
+	rtt     [][]time.Duration
+	total   int
+}
+
+// New builds a grid from cluster names, per-cluster node counts and a
+// cluster-to-cluster RTT matrix. The matrix need not be symmetric (real
+// routes rarely are); rtt[i][i] is the intra-cluster RTT.
+func New(names []string, sizes []int, rtt [][]time.Duration) (*Grid, error) {
+	n := len(names)
+	if n == 0 {
+		return nil, errors.New("topology: no clusters")
+	}
+	if len(sizes) != n || len(rtt) != n {
+		return nil, fmt.Errorf("topology: got %d names, %d sizes, %d matrix rows", n, len(sizes), len(rtt))
+	}
+	g := &Grid{
+		names:  append([]string(nil), names...),
+		sizes:  append([]int(nil), sizes...),
+		firsts: make([]int, n),
+		rtt:    make([][]time.Duration, n),
+	}
+	for i, row := range rtt {
+		if len(row) != n {
+			return nil, fmt.Errorf("topology: matrix row %d has %d entries, want %d", i, len(row), n)
+		}
+		for j, d := range row {
+			if d < 0 {
+				return nil, fmt.Errorf("topology: negative RTT %v between %s and %s", d, names[i], names[j])
+			}
+		}
+		g.rtt[i] = append([]time.Duration(nil), row...)
+	}
+	for c, size := range sizes {
+		if size <= 0 {
+			return nil, fmt.Errorf("topology: cluster %s has size %d", names[c], size)
+		}
+		g.firsts[c] = g.total
+		g.total += size
+	}
+	g.cluster = make([]int, g.total)
+	for c := range sizes {
+		for i := 0; i < sizes[c]; i++ {
+			g.cluster[g.firsts[c]+i] = c
+		}
+	}
+	return g, nil
+}
+
+// NumClusters returns the number of clusters in the grid.
+func (g *Grid) NumClusters() int { return len(g.names) }
+
+// NumNodes returns the total number of nodes across all clusters.
+func (g *Grid) NumNodes() int { return g.total }
+
+// ClusterName returns the name of cluster c.
+func (g *Grid) ClusterName(c int) string { return g.names[c] }
+
+// ClusterSize returns the number of nodes in cluster c.
+func (g *Grid) ClusterSize(c int) int { return g.sizes[c] }
+
+// ClusterOf returns the cluster owning global node index n.
+func (g *Grid) ClusterOf(n int) int { return g.cluster[n] }
+
+// NodesIn returns the global node indices of cluster c in ascending order.
+func (g *Grid) NodesIn(c int) []int {
+	out := make([]int, g.sizes[c])
+	for i := range out {
+		out[i] = g.firsts[c] + i
+	}
+	return out
+}
+
+// RTT returns the round-trip latency between clusters a and b as measured
+// from a.
+func (g *Grid) RTT(a, b int) time.Duration { return g.rtt[a][b] }
+
+// OneWay returns the modeled one-way message delay between two global node
+// indices: half the RTT between their clusters.
+func (g *Grid) OneWay(from, to int) time.Duration {
+	return g.rtt[g.cluster[from]][g.cluster[to]] / 2
+}
+
+// SameCluster reports whether two global node indices live in one cluster.
+func (g *Grid) SameCluster(a, b int) bool { return g.cluster[a] == g.cluster[b] }
+
+// grid5000Names lists the 9 Grid'5000 sites used in the paper's evaluation.
+var grid5000Names = []string{
+	"orsay", "grenoble", "lyon", "rennes", "lille", "nancy", "toulouse", "sophia", "bordeaux",
+}
+
+// grid5000RTTMicros is the Figure 3 RTT matrix, in microseconds (the paper
+// prints milliseconds with three decimals). Row = from, column = to.
+var grid5000RTTMicros = [9][9]int64{
+	{34, 15039, 9128, 8881, 4489, 95282, 15556, 20239, 7900},
+	{14976, 66, 3293, 15269, 12954, 13246, 10582, 9904, 16288},
+	{9136, 3309, 26, 12672, 10377, 10634, 7956, 7289, 10078},
+	{8913, 15258, 12617, 59, 11269, 11654, 19911, 19224, 8114},
+	{10000, 10001, 10001, 10001, 1, 10001, 20000, 20001, 10001},
+	{5657, 13279, 10623, 11679, 9228, 32, 98398, 17215, 12827},
+	{15547, 10586, 7934, 19888, 19102, 17886, 43, 14540, 3131},
+	{20332, 9889, 7254, 19215, 16811, 17238, 14529, 51, 10629},
+	{7925, 16338, 10043, 8129, 10845, 12795, 3150, 10640, 45},
+}
+
+// Grid5000 returns the paper's experimental platform: the 9 clusters of
+// Figure 3 with nodesPerCluster nodes each (the paper uses 20, for 180
+// application processes).
+func Grid5000(nodesPerCluster int) *Grid {
+	sizes := make([]int, len(grid5000Names))
+	rtt := make([][]time.Duration, len(grid5000Names))
+	for i := range grid5000Names {
+		sizes[i] = nodesPerCluster
+		row := make([]time.Duration, len(grid5000Names))
+		for j, us := range grid5000RTTMicros[i] {
+			row[j] = time.Duration(us) * time.Microsecond
+		}
+		rtt[i] = row
+	}
+	g, err := New(grid5000Names, sizes, rtt)
+	if err != nil {
+		panic("topology: invalid built-in Grid5000 matrix: " + err.Error())
+	}
+	return g
+}
+
+// Uniform returns a synthetic grid of clusters clusters with size nodes
+// each, localRTT within every cluster and remoteRTT between any two distinct
+// clusters. Useful for tests and scalability sweeps where Grid'5000's
+// heterogeneity would obscure the effect under study.
+func Uniform(clusters, size int, localRTT, remoteRTT time.Duration) *Grid {
+	names := make([]string, clusters)
+	sizes := make([]int, clusters)
+	rtt := make([][]time.Duration, clusters)
+	for i := range names {
+		names[i] = fmt.Sprintf("c%d", i)
+		sizes[i] = size
+		row := make([]time.Duration, clusters)
+		for j := range row {
+			if i == j {
+				row[j] = localRTT
+			} else {
+				row[j] = remoteRTT
+			}
+		}
+		rtt[i] = row
+	}
+	g, err := New(names, sizes, rtt)
+	if err != nil {
+		panic("topology: invalid uniform grid: " + err.Error())
+	}
+	return g
+}
+
+// Single returns a one-cluster grid of size nodes with the given local RTT.
+// It lets a plain (non-composed) algorithm run on the simulated network.
+func Single(size int, localRTT time.Duration) *Grid {
+	return Uniform(1, size, localRTT, 0)
+}

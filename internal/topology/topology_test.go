@@ -1,0 +1,165 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestGrid5000Shape(t *testing.T) {
+	g := Grid5000(20)
+	if g.NumClusters() != 9 {
+		t.Fatalf("NumClusters = %d, want 9", g.NumClusters())
+	}
+	if g.NumNodes() != 180 {
+		t.Fatalf("NumNodes = %d, want 180", g.NumNodes())
+	}
+	for c := 0; c < 9; c++ {
+		if g.ClusterSize(c) != 20 {
+			t.Errorf("cluster %d size %d, want 20", c, g.ClusterSize(c))
+		}
+	}
+}
+
+// Spot-check values straight out of Figure 3 of the paper.
+func TestGrid5000Figure3Values(t *testing.T) {
+	g := Grid5000(20)
+	idx := map[string]int{}
+	for c := 0; c < g.NumClusters(); c++ {
+		idx[g.ClusterName(c)] = c
+	}
+	checks := []struct {
+		from, to string
+		want     time.Duration
+	}{
+		{"orsay", "orsay", 34 * time.Microsecond},
+		{"orsay", "nancy", 95282 * time.Microsecond},
+		{"nancy", "toulouse", 98398 * time.Microsecond},
+		{"lille", "lille", 1 * time.Microsecond},
+		{"toulouse", "bordeaux", 3131 * time.Microsecond},
+		{"bordeaux", "toulouse", 3150 * time.Microsecond},
+		{"sophia", "orsay", 20332 * time.Microsecond},
+		{"grenoble", "lyon", 3293 * time.Microsecond},
+	}
+	for _, c := range checks {
+		if got := g.RTT(idx[c.from], idx[c.to]); got != c.want {
+			t.Errorf("RTT(%s,%s) = %v, want %v", c.from, c.to, got, c.want)
+		}
+	}
+}
+
+func TestGrid5000Asymmetry(t *testing.T) {
+	// The measured matrix is not symmetric; make sure we did not
+	// accidentally symmetrize it.
+	g := Grid5000(1)
+	if g.RTT(0, 1) == g.RTT(1, 0) {
+		t.Error("orsay<->grenoble RTTs should differ (15.039 vs 14.976 ms)")
+	}
+}
+
+func TestClusterMajorNumbering(t *testing.T) {
+	g := Grid5000(20)
+	for c := 0; c < g.NumClusters(); c++ {
+		nodes := g.NodesIn(c)
+		if len(nodes) != 20 {
+			t.Fatalf("cluster %d: %d nodes", c, len(nodes))
+		}
+		for i, n := range nodes {
+			if want := c*20 + i; n != want {
+				t.Fatalf("cluster %d node %d = %d, want %d", c, i, n, want)
+			}
+			if g.ClusterOf(n) != c {
+				t.Fatalf("ClusterOf(%d) = %d, want %d", n, g.ClusterOf(n), c)
+			}
+		}
+	}
+}
+
+func TestOneWayIsHalfRTT(t *testing.T) {
+	g := Grid5000(20)
+	// node 0 is in orsay, node 100 is in nancy (cluster 5).
+	if got, want := g.OneWay(0, 100), 95282*time.Microsecond/2; got != want {
+		t.Errorf("OneWay(orsay,nancy) = %v, want %v", got, want)
+	}
+	if got, want := g.OneWay(0, 1), 17*time.Microsecond; got != want {
+		t.Errorf("OneWay within orsay = %v, want %v", got, want)
+	}
+}
+
+func TestSameCluster(t *testing.T) {
+	g := Grid5000(20)
+	if !g.SameCluster(0, 19) {
+		t.Error("nodes 0 and 19 should share a cluster")
+	}
+	if g.SameCluster(19, 20) {
+		t.Error("nodes 19 and 20 should be in different clusters")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	g := Uniform(3, 4, time.Millisecond, 10*time.Millisecond)
+	if g.NumNodes() != 12 {
+		t.Fatalf("NumNodes = %d, want 12", g.NumNodes())
+	}
+	if got := g.OneWay(0, 3); got != 500*time.Microsecond {
+		t.Errorf("intra one-way = %v, want 0.5ms", got)
+	}
+	if got := g.OneWay(0, 4); got != 5*time.Millisecond {
+		t.Errorf("inter one-way = %v, want 5ms", got)
+	}
+}
+
+func TestSingle(t *testing.T) {
+	g := Single(7, 2*time.Millisecond)
+	if g.NumClusters() != 1 || g.NumNodes() != 7 {
+		t.Fatalf("Single(7) = %d clusters, %d nodes", g.NumClusters(), g.NumNodes())
+	}
+	if got := g.OneWay(2, 5); got != time.Millisecond {
+		t.Errorf("one-way = %v, want 1ms", got)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	ms := time.Millisecond
+	cases := []struct {
+		name  string
+		names []string
+		sizes []int
+		rtt   [][]time.Duration
+	}{
+		{"no clusters", nil, nil, nil},
+		{"size mismatch", []string{"a"}, []int{1, 2}, [][]time.Duration{{ms}}},
+		{"ragged matrix", []string{"a", "b"}, []int{1, 1}, [][]time.Duration{{ms, ms}, {ms}}},
+		{"zero size", []string{"a"}, []int{0}, [][]time.Duration{{ms}}},
+		{"negative latency", []string{"a"}, []int{1}, [][]time.Duration{{-ms}}},
+		{"missing rows", []string{"a", "b"}, []int{1, 1}, [][]time.Duration{{ms, ms}}},
+	}
+	for _, c := range cases {
+		if _, err := New(c.names, c.sizes, c.rtt); err == nil {
+			t.Errorf("%s: New accepted invalid input", c.name)
+		}
+	}
+}
+
+// Property: in any uniform grid, OneWay is symmetric and respects the
+// intra/inter split implied by cluster membership.
+func TestPropertyUniformLatencies(t *testing.T) {
+	f := func(rawClusters, rawSize uint8, a, b uint16) bool {
+		clusters := int(rawClusters%5) + 1
+		size := int(rawSize%6) + 1
+		g := Uniform(clusters, size, time.Millisecond, 20*time.Millisecond)
+		n := g.NumNodes()
+		na, nb := int(a)%n, int(b)%n
+		ow := g.OneWay(na, nb)
+		if ow != g.OneWay(nb, na) {
+			return false
+		}
+		if g.SameCluster(na, nb) {
+			return ow == 500*time.Microsecond
+		}
+		return ow == 10*time.Millisecond
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,310 @@
+// Package workload implements the paper's application model (section 4.1):
+// every application process executes a fixed number of critical sections of
+// duration α, separated by idle periods of mean β, with ρ = β/α expressing
+// the degree of parallelism (ρ ≤ N: low parallelism / high contention,
+// N < ρ ≤ 3N: intermediate, ρ ≥ 3N: high parallelism / rare contention).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"gridmutex/internal/check"
+	"gridmutex/internal/core"
+	"gridmutex/internal/des"
+	"gridmutex/internal/mutex"
+)
+
+// Distribution selects the shape of the idle-time distribution.
+type Distribution uint8
+
+const (
+	// Exponential idle times with mean β (a Poisson request process, the
+	// usual model for the paper's workload).
+	Exponential Distribution = iota
+	// Constant idle times of exactly β.
+	Constant
+	// Uniform idle times over [0, 2β] (mean β).
+	Uniform
+)
+
+// String names the distribution.
+func (d Distribution) String() string {
+	switch d {
+	case Exponential:
+		return "exponential"
+	case Constant:
+		return "constant"
+	case Uniform:
+		return "uniform"
+	default:
+		return fmt.Sprintf("Distribution(%d)", uint8(d))
+	}
+}
+
+// Phase is one segment of a phased workload: Rho applies until the virtual
+// instant Until.
+type Phase struct {
+	// Rho is β/α during this phase.
+	Rho float64
+	// Until is the virtual time at which the next phase begins. The
+	// last phase's Until is ignored (it runs to completion).
+	Until time.Duration
+}
+
+// Params describes one run's application behaviour.
+type Params struct {
+	// Alpha is the critical section duration (10 ms in the paper).
+	Alpha time.Duration
+	// Rho is β/α; β = Rho*Alpha is the mean idle time between a release
+	// and the next request.
+	Rho float64
+	// Phases, when non-empty, makes the degree of parallelism vary over
+	// virtual time (used by the adaptive-composition experiments); Rho
+	// is then ignored.
+	Phases []Phase
+	// Dist shapes the idle time distribution.
+	Dist Distribution
+	// CSPerProcess is how many critical sections each process executes
+	// (100 in the paper).
+	CSPerProcess int
+	// HotCluster and HotSkew model locality skew: processes in
+	// HotCluster use an idle time of beta/HotSkew, requesting HotSkew
+	// times more often than the rest. HotSkew <= 1 disables the skew.
+	HotCluster int
+	HotSkew    float64
+	// Seed drives the workload's randomness.
+	Seed int64
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.Alpha <= 0 {
+		return fmt.Errorf("workload: alpha %v must be positive", p.Alpha)
+	}
+	if p.Rho < 0 {
+		return fmt.Errorf("workload: rho %v must be non-negative", p.Rho)
+	}
+	if p.HotSkew < 0 {
+		return fmt.Errorf("workload: hot skew %v must be non-negative", p.HotSkew)
+	}
+	for i, ph := range p.Phases {
+		if ph.Rho < 0 {
+			return fmt.Errorf("workload: phase %d rho %v must be non-negative", i, ph.Rho)
+		}
+		if i > 0 && ph.Until <= p.Phases[i-1].Until && i != len(p.Phases)-1 {
+			return fmt.Errorf("workload: phase %d boundary %v not after previous", i, ph.Until)
+		}
+	}
+	if p.CSPerProcess <= 0 {
+		return fmt.Errorf("workload: CSPerProcess %d must be positive", p.CSPerProcess)
+	}
+	return nil
+}
+
+// Beta returns the mean idle time β = ρ·α.
+func (p Params) Beta() time.Duration {
+	return time.Duration(p.Rho * float64(p.Alpha))
+}
+
+// Record captures one satisfied critical section request.
+type Record struct {
+	// ID is the application process.
+	ID mutex.ID
+	// Cluster is the process's cluster.
+	Cluster int
+	// RequestedAt and AcquiredAt bound the obtaining time.
+	RequestedAt, AcquiredAt des.Time
+}
+
+// Obtaining returns the request-to-grant delay — the paper's central
+// metric.
+func (r Record) Obtaining() time.Duration {
+	return time.Duration(r.AcquiredAt - r.RequestedAt)
+}
+
+// Runner drives a deployment's application processes through the workload.
+// Construction order matters because callbacks bind at instance build time:
+//
+//	r := workload.NewRunner(sim, params, monitor)
+//	d, err := core.BuildComposed(net, grid, spec, r.Callbacks)
+//	r.Bind(d.Apps)
+//	r.Start()
+//	sim.Run()  // or RunCapped
+//	records := r.Records()
+type Runner struct {
+	sim     *des.Simulator
+	params  Params
+	rng     *rand.Rand
+	monitor *check.Monitor
+	procs   map[mutex.ID]*appProc
+	order   []mutex.ID
+	records []Record
+	bound   bool
+	started bool
+}
+
+type appProc struct {
+	app       core.App
+	remaining int
+	waiting   bool // a request is outstanding and not yet granted
+	reqAt     des.Time
+}
+
+// NewRunner creates a runner; monitor may be nil to skip safety checking.
+func NewRunner(sim *des.Simulator, params Params, monitor *check.Monitor) (*Runner, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return &Runner{
+		sim:     sim,
+		params:  params,
+		rng:     rand.New(rand.NewSource(params.Seed)),
+		monitor: monitor,
+		procs:   make(map[mutex.ID]*appProc),
+	}, nil
+}
+
+// Callbacks is the core.CallbackFunc to pass to the deployment builder.
+func (r *Runner) Callbacks(id mutex.ID) mutex.Callbacks {
+	return mutex.Callbacks{OnAcquire: func() { r.onAcquire(id) }}
+}
+
+// Bind attaches the built application processes to the runner.
+func (r *Runner) Bind(apps []core.App) {
+	if r.bound {
+		panic("workload: Bind called twice")
+	}
+	r.bound = true
+	for _, a := range apps {
+		if a.Instance == nil {
+			panic(fmt.Sprintf("workload: app %d has no instance", a.ID))
+		}
+		r.procs[a.ID] = &appProc{app: a, remaining: r.params.CSPerProcess}
+		r.order = append(r.order, a.ID)
+	}
+}
+
+// Start schedules every process's first request after an initial idle
+// period, staggering arrivals the way the paper's free-running processes
+// do.
+func (r *Runner) Start() {
+	if !r.bound {
+		panic("workload: Start before Bind")
+	}
+	if r.started {
+		panic("workload: Start called twice")
+	}
+	r.started = true
+	for _, id := range r.order {
+		p := r.procs[id]
+		r.sim.After(r.idle(p.app.Cluster), func() { r.request(p) })
+	}
+}
+
+// currentRho returns the degree of parallelism in force now.
+func (r *Runner) currentRho() float64 {
+	if len(r.params.Phases) == 0 {
+		return r.params.Rho
+	}
+	now := r.sim.Now()
+	for i, ph := range r.params.Phases {
+		if i == len(r.params.Phases)-1 || now < ph.Until {
+			return ph.Rho
+		}
+	}
+	return r.params.Phases[len(r.params.Phases)-1].Rho
+}
+
+// idle draws one idle period from the configured distribution for a
+// process in the given cluster.
+func (r *Runner) idle(cluster int) time.Duration {
+	beta := r.currentRho() * float64(r.params.Alpha)
+	if r.params.HotSkew > 1 && cluster == r.params.HotCluster {
+		beta /= r.params.HotSkew
+	}
+	if beta <= 0 {
+		return 0
+	}
+	switch r.params.Dist {
+	case Constant:
+		return time.Duration(beta)
+	case Uniform:
+		return time.Duration(2 * beta * r.rng.Float64())
+	default:
+		return time.Duration(beta * r.rng.ExpFloat64())
+	}
+}
+
+func (r *Runner) request(p *appProc) {
+	p.reqAt = r.sim.Now()
+	p.waiting = true
+	p.app.Instance.Request()
+}
+
+func (r *Runner) onAcquire(id mutex.ID) {
+	p, ok := r.procs[id]
+	if !ok {
+		panic(fmt.Sprintf("workload: acquire for unknown process %d", id))
+	}
+	p.waiting = false
+	if r.monitor != nil {
+		r.monitor.Enter(id)
+	}
+	r.records = append(r.records, Record{
+		ID: id, Cluster: p.app.Cluster,
+		RequestedAt: p.reqAt, AcquiredAt: r.sim.Now(),
+	})
+	r.sim.After(r.params.Alpha, func() {
+		if r.monitor != nil {
+			r.monitor.Exit(id)
+		}
+		p.app.Instance.Release()
+		p.remaining--
+		if p.remaining > 0 {
+			r.sim.After(r.idle(p.app.Cluster), func() { r.request(p) })
+		}
+	})
+}
+
+// Records returns every satisfied request so far, in grant order.
+func (r *Runner) Records() []Record { return r.records }
+
+// Done reports whether every process has finished its critical sections.
+func (r *Runner) Done() bool {
+	for _, p := range r.procs {
+		if p.remaining > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Outstanding returns how many critical sections remain across all
+// processes.
+func (r *Runner) Outstanding() int {
+	n := 0
+	for _, p := range r.procs {
+		n += p.remaining
+	}
+	return n
+}
+
+// Waiting returns how many processes have an outstanding request that has
+// not been granted yet — the quantity a liveness watchdog should monitor
+// (idle processes between critical sections do not count).
+func (r *Runner) Waiting() int {
+	n := 0
+	for _, p := range r.procs {
+		if p.waiting {
+			n++
+		}
+	}
+	return n
+}
+
+// ExpectedTotal returns the number of grants a complete run produces.
+func (r *Runner) ExpectedTotal() int {
+	return len(r.procs) * r.params.CSPerProcess
+}
