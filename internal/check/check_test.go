@@ -185,6 +185,79 @@ func TestWatchdogStopsWhenDone(t *testing.T) {
 	}
 }
 
+// TestWatchdogNeverGranted: requests outstanding from the first instant
+// and not a single grant, ever — the pure starvation case, where
+// lastEntries never moves off zero. The watchdog must flag it on its
+// second tick and then let the simulation drain.
+func TestWatchdogNeverGranted(t *testing.T) {
+	sim := des.New()
+	m := NewMonitor(sim)
+	m.WatchLiveness(func() int { return 2 }, func() bool { return false }, 10*time.Millisecond)
+	sim.Run()
+	if m.Entries() != 0 {
+		t.Fatalf("test expects zero grants, got %d", m.Entries())
+	}
+	v := m.Violations()
+	if len(v) != 1 || !strings.Contains(v[0], "liveness") {
+		t.Fatalf("violations = %v, want exactly one liveness stall", v)
+	}
+	// Armed on the first tick, flagged on the second: the reported window
+	// must be [interval, 2*interval].
+	if !strings.Contains(v[0], "between 10ms and 20ms") {
+		t.Fatalf("stall window misreported: %q", v[0])
+	}
+	if sim.Pending() != 0 {
+		t.Fatal("watchdog kept rescheduling after flagging the stall")
+	}
+}
+
+// TestAllViolationsSuppressed: with MaxViolations = 0 nothing is recorded,
+// only counted — yet the monitor must still fail the run and report how
+// much it swallowed.
+func TestAllViolationsSuppressed(t *testing.T) {
+	sim := des.New()
+	m := NewMonitor(sim)
+	m.MaxViolations = 0
+	m.Enter(1)
+	m.Enter(2) // safety violation, suppressed
+	m.Exit(3)  // protocol violation, suppressed
+	m.Exit(1)  // protocol violation (CS already empty), suppressed
+	if m.Ok() {
+		t.Fatal("Ok() true with suppressed violations")
+	}
+	v := m.Violations()
+	if len(v) != 1 {
+		t.Fatalf("violations = %v, want only the suppression summary", v)
+	}
+	if !strings.Contains(v[0], "3 more suppressed") {
+		t.Fatalf("suppression count wrong: %q", v[0])
+	}
+}
+
+// TestQuiescenceEntryExitMismatch: the CS is free but the books do not
+// balance (an exit without a matching entry). AssertQuiescent must report
+// the count mismatch and only that — the occupancy check has nothing to
+// say.
+func TestQuiescenceEntryExitMismatch(t *testing.T) {
+	sim := des.New()
+	m := NewMonitor(sim)
+	m.Enter(1)
+	m.Exit(1)
+	m.Exit(1) // spurious second exit: protocol violation, exits = 2
+	before := len(m.Violations())
+	m.AssertQuiescent()
+	added := m.Violations()[before:]
+	if len(added) != 1 {
+		t.Fatalf("AssertQuiescent added %v, want exactly one violation", added)
+	}
+	if !strings.Contains(added[0], "1 entries but 2 exits") {
+		t.Fatalf("mismatch misreported: %q", added[0])
+	}
+	if strings.Contains(added[0], "still in CS") {
+		t.Fatalf("occupancy violation on a free CS: %q", added[0])
+	}
+}
+
 func TestWatchdogPanics(t *testing.T) {
 	m := NewMonitor(des.New())
 	for name, f := range map[string]func(){

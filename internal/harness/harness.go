@@ -8,6 +8,7 @@ package harness
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"gridmutex/internal/adaptive"
@@ -20,6 +21,7 @@ import (
 	"gridmutex/internal/simnet"
 	"gridmutex/internal/stats"
 	"gridmutex/internal/topology"
+	"gridmutex/internal/trace"
 	"gridmutex/internal/workload"
 )
 
@@ -132,6 +134,10 @@ type Scale struct {
 	// workload.Params); HotSkew <= 1 disables the skew.
 	HotCluster int
 	HotSkew    float64
+	// TraceCapacity, when positive, attaches a trace ring buffer of that
+	// many events to every run's fabric. The determinism regression test
+	// uses it: two runs with the same seed must dump identical traces.
+	TraceCapacity int
 }
 
 // N returns the total number of application processes.
@@ -299,9 +305,16 @@ func runCell(sys System, scale Scale, rho float64) (*Point, error) {
 	for i := range phaseObtain {
 		p.PhaseObtaining = append(p.PhaseObtaining, phaseObtain[i].Summarize())
 	}
-	means := make([]float64, 0, len(perProc))
-	for _, pp := range perProc {
-		means = append(means, pp.Mean())
+	// Walk processes in ID order: float summation inside JainIndex is not
+	// associative, so map order would perturb the fairness digit.
+	ids := make([]mutex.ID, 0, len(perProc))
+	for id := range perProc {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	means := make([]float64, 0, len(ids))
+	for _, id := range ids {
+		means = append(means, perProc[id].Mean())
 	}
 	p.Fairness = stats.JainIndex(means)
 	p.Handoffs = handoffs
@@ -356,6 +369,8 @@ type outcome struct {
 	switches int64
 	// handoffs and biasRounds aggregate coordinator stats.
 	handoffs, biasRounds int64
+	// traceDump is the rendered event trace (Scale.TraceCapacity > 0 only).
+	traceDump string
 }
 
 func runOnce(sys System, scale Scale, rho float64, seed int64) (outcome, error) {
@@ -364,7 +379,11 @@ func runOnce(sys System, scale Scale, rho float64, seed int64) (outcome, error) 
 		return outcome{}, err
 	}
 	sim := des.New()
-	net := simnet.New(sim, g, simnet.Options{Jitter: scale.Jitter, Seed: seed, Loss: scale.Loss})
+	var tr *trace.Tracer
+	if scale.TraceCapacity > 0 {
+		tr = trace.New(sim.Now, scale.TraceCapacity)
+	}
+	net := simnet.New(sim, g, simnet.Options{Jitter: scale.Jitter, Seed: seed, Loss: scale.Loss, Trace: tr})
 	var fabric mutex.Fabric = net
 	if scale.Reliable {
 		// RTO above the largest simulated round trip keeps spurious
@@ -430,7 +449,7 @@ func runOnce(sys System, scale Scale, rho float64, seed int64) (outcome, error) 
 	if !runner.Done() {
 		return outcome{}, fmt.Errorf("liveness: %d requests unsatisfied", runner.Outstanding())
 	}
-	out := outcome{records: runner.Records(), counters: net.Counters()}
+	out := outcome{records: runner.Records(), counters: net.Counters(), traceDump: tr.Dump()}
 	for _, c := range d.Coordinators {
 		out.handoffs += c.Stats().InterHandoffs
 		out.biasRounds += c.Stats().BiasRounds

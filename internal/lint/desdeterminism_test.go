@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"gridmutex/internal/lint"
+	"gridmutex/internal/lint/linttest"
+)
+
+func TestDESDeterminismBad(t *testing.T) {
+	linttest.Run(t, linttest.TestDataDir(t), lint.DESDeterminism, "desdeterminism/bad")
+}
+
+func TestDESDeterminismGood(t *testing.T) {
+	linttest.Run(t, linttest.TestDataDir(t), lint.DESDeterminism, "desdeterminism/good")
+}

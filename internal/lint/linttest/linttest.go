@@ -1,0 +1,138 @@
+// Package linttest runs lint analyzers over a corpus of example
+// packages and checks their diagnostics against expectations embedded in
+// the sources, in the style of golang.org/x/tools/go/analysis/analysistest.
+//
+// An expectation is a trailing comment of the form
+//
+//	for k := range m {} // want `iteration over map`
+//
+// Every `...`-quoted (or "..."-quoted) fragment on a line is a regular
+// expression that must match one diagnostic reported on that line; every
+// diagnostic must be matched by exactly one fragment. Files without want
+// comments assert the analyzer stays silent.
+package linttest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+
+	"gridmutex/internal/lint"
+)
+
+// TestDataDir returns the testdata/src root next to the caller's package.
+func TestDataDir(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(1)
+	if !ok {
+		t.Fatal("linttest: cannot locate caller")
+	}
+	return filepath.Join(filepath.Dir(file), "testdata", "src")
+}
+
+// Run loads testdata/src/<pkgdir> as a package and checks the analyzer's
+// diagnostics against the want comments in its sources.
+func Run(t *testing.T, srcRoot string, a *lint.Analyzer, pkgdir string) {
+	t.Helper()
+	loader, err := lint.NewLoader(srcRoot)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	loader.ExtraRoot = srcRoot
+	pkg, err := loader.LoadDir(filepath.Join(srcRoot, filepath.FromSlash(pkgdir)), pkgdir)
+	if err != nil {
+		t.Fatalf("linttest: load %s: %v", pkgdir, err)
+	}
+	for _, e := range pkg.TypeErrors {
+		t.Errorf("linttest: %s: type error: %v", pkgdir, e)
+	}
+
+	// Run without the package filter: the corpus decides scope.
+	unfiltered := &lint.Analyzer{Name: a.Name, Doc: a.Doc, Run: a.Run}
+	got := lint.RunAnalyzers(pkg, []*lint.Analyzer{unfiltered})
+
+	wants := collectWants(t, pkg.Fset, pkg)
+	matched := make([]bool, len(wants))
+	for _, d := range got {
+		ok := false
+		for i, w := range wants {
+			if matched[i] || w.file != filepath.Base(d.Pos.Filename) || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s", pkgdir, d)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s: %s:%d: no diagnostic matched want %q", pkgdir, w.file, w.line, w.re)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantRe = regexp.MustCompile("// want (.*)$")
+var fragRe = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+func collectWants(t *testing.T, fset *token.FileSet, pkg *lint.Package) []want {
+	t.Helper()
+	var out []want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				frags := fragRe.FindAllStringSubmatch(m[1], -1)
+				if len(frags) == 0 {
+					t.Fatalf("linttest: %s:%d: want comment without quoted pattern", pos.Filename, pos.Line)
+				}
+				for _, fr := range frags {
+					pat := fr[1]
+					if pat == "" {
+						pat = fr[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("linttest: %s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					out = append(out, want{file: filepath.Base(pos.Filename), line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].file != out[j].file {
+			return out[i].file < out[j].file
+		}
+		return out[i].line < out[j].line
+	})
+	return out
+}
+
+// Describe renders diagnostics for debugging test failures.
+func Describe(diags []lint.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "  %s\n", d)
+	}
+	return b.String()
+}

@@ -1,0 +1,244 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockDiscipline enforces the three mutex rules the live transports
+// depend on:
+//
+//  1. A function that calls Lock (or RLock) on a sync.Mutex/RWMutex must
+//     contain a matching Unlock (RUnlock) on the same receiver — the
+//     cross-function handoff pattern is banned because it defeats local
+//     reasoning about lock extent.
+//  2. No channel send while a mutex is held: the receiver may be a
+//     mailbox goroutine that needs the same mutex to drain, which is the
+//     classic livenet deadlock.
+//  3. Mutexes travel by pointer: a by-value sync.Mutex/RWMutex parameter
+//     or result silently copies the lock state.
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc: "require in-function Lock/Unlock pairing, forbid channel sends " +
+		"under a held mutex and mutexes passed by value",
+	AppliesTo: anyUnder(
+		"internal/livenet",
+		"internal/reliable",
+	),
+	Run: runLockDiscipline,
+}
+
+func isMutexType(t types.Type) bool {
+	return namedType(t, "sync", "Mutex") || namedType(t, "sync", "RWMutex")
+}
+
+var unlockOf = map[string]string{"Lock": "Unlock", "RLock": "RUnlock"}
+
+func runLockDiscipline(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkMutexParams(p, n.Type)
+				if n.Body != nil {
+					checkFuncBody(p, n.Body)
+				}
+				// Nested FuncLits are handled below; returning true
+				// descends into them.
+			case *ast.FuncLit:
+				checkFuncBody(p, n.Body)
+			}
+			return true
+		})
+	}
+}
+
+// checkMutexParams flags by-value mutex parameters and results.
+func checkMutexParams(p *Pass, ft *ast.FuncType) {
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			if t := p.TypeOf(field.Type); t != nil {
+				if _, isPtr := t.(*types.Pointer); !isPtr && isMutexType(t) {
+					p.Reportf(field.Type.Pos(), "sync.%s passed by value as a %s copies the lock state; use a pointer", typeName(t), what)
+				}
+			}
+		}
+	}
+	check(ft.Params, "parameter")
+	check(ft.Results, "result")
+}
+
+func typeName(t types.Type) string {
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}
+
+// mutexCall returns (receiver expression string, method name) when call
+// is a Lock/Unlock/RLock/RUnlock on a mutex-typed receiver.
+func mutexCall(p *Pass, call *ast.CallExpr) (string, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	t := p.TypeOf(sel.X)
+	if t == nil || !isMutexType(t) {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+// checkFuncBody runs the pairing and send-under-lock checks on one
+// function body. Nested function literals are skipped here — the
+// surrounding walk visits them as their own scope, because a closure's
+// Unlock cannot discharge the enclosing function's Lock (it may run on
+// another goroutine, much later, or never).
+func checkFuncBody(p *Pass, body *ast.BlockStmt) {
+	locks := make(map[string][]*ast.CallExpr) // receiver -> Lock/RLock calls
+	unlocks := make(map[string]bool)          // receiver+method present?
+	walkOwnLevel(body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		recv, method, ok := mutexCall(p, call)
+		if !ok {
+			return
+		}
+		switch method {
+		case "Lock", "RLock":
+			locks[recv+"."+method] = append(locks[recv+"."+method], call)
+		case "Unlock", "RUnlock":
+			unlocks[recv+"."+method] = true
+		}
+	})
+	for key, calls := range locks {
+		recv, method := splitLockKey(key)
+		want := unlockOf[method]
+		if !unlocks[recv+"."+want] {
+			for _, c := range calls {
+				p.Reportf(c.Pos(), "%s.%s without a %s on %s in the same function; release the lock where it is taken", recv, method, want, recv)
+			}
+		}
+	}
+	var held []string
+	scanHeld(p, body.List, held)
+}
+
+func splitLockKey(key string) (recv, method string) {
+	for i := len(key) - 1; i >= 0; i-- {
+		if key[i] == '.' {
+			return key[:i], key[i+1:]
+		}
+	}
+	return key, ""
+}
+
+// walkOwnLevel visits every node of the body except nested FuncLit
+// bodies.
+func walkOwnLevel(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// scanHeld walks a statement list in program order, tracking which mutex
+// receivers are held, and reports channel sends while the held set is
+// non-empty. Nested control-flow blocks are scanned with a copy of the
+// held set: acquisitions and releases inside a branch are assumed not to
+// outlive it, a deliberate approximation that keeps the analysis linear
+// and errs toward reporting (the escape hatch covers the rare deliberate
+// send-under-lock).
+func scanHeld(p *Pass, stmts []ast.Stmt, held []string) {
+	holds := func() bool { return len(held) > 0 }
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if recv, method, ok := mutexCall(p, call); ok {
+					switch method {
+					case "Lock", "RLock":
+						held = append(held, recv)
+					case "Unlock", "RUnlock":
+						held = removeHeld(held, recv)
+					}
+				}
+			}
+		case *ast.DeferStmt:
+			// defer mu.Unlock() holds until function exit: the mutex
+			// stays held for the rest of this scan.
+			continue
+		case *ast.SendStmt:
+			if holds() {
+				p.Reportf(s.Pos(), "channel send while holding mutex %s; the receiver may need the same lock to make progress", held[len(held)-1])
+			}
+		case *ast.BlockStmt:
+			scanHeld(p, s.List, append([]string(nil), held...))
+		case *ast.IfStmt:
+			scanIf(p, s, held)
+		case *ast.ForStmt:
+			scanHeld(p, s.Body.List, append([]string(nil), held...))
+		case *ast.RangeStmt:
+			scanHeld(p, s.Body.List, append([]string(nil), held...))
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					scanHeld(p, cc.Body, append([]string(nil), held...))
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					scanHeld(p, cc.Body, append([]string(nil), held...))
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					if snd, ok := cc.Comm.(*ast.SendStmt); ok && holds() {
+						p.Reportf(snd.Pos(), "channel send while holding mutex %s; the receiver may need the same lock to make progress", held[len(held)-1])
+					}
+					scanHeld(p, cc.Body, append([]string(nil), held...))
+				}
+			}
+		}
+	}
+}
+
+func scanIf(p *Pass, s *ast.IfStmt, held []string) {
+	scanHeld(p, s.Body.List, append([]string(nil), held...))
+	switch e := s.Else.(type) {
+	case *ast.BlockStmt:
+		scanHeld(p, e.List, append([]string(nil), held...))
+	case *ast.IfStmt:
+		scanIf(p, e, held)
+	}
+}
+
+func removeHeld(held []string, recv string) []string {
+	out := held[:0:len(held)]
+	removed := false
+	for _, h := range held {
+		if !removed && h == recv {
+			removed = true
+			continue
+		}
+		out = append(out, h)
+	}
+	return out
+}

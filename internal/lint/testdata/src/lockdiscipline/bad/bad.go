@@ -1,0 +1,52 @@
+// Package bad seeds the lock misuse patterns the analyzer must catch.
+package bad
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// leak takes the lock and exits without releasing it.
+func (b *box) leak() {
+	b.mu.Lock() // want `b\.mu\.Lock without a Unlock on b\.mu`
+	b.ch <- 1   // want `channel send while holding mutex b\.mu`
+}
+
+// sendUnderDefer holds the mutex (via defer) across a channel send.
+func (b *box) sendUnderDefer() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ch <- 2 // want `channel send while holding mutex b\.mu`
+}
+
+// sendInSelect sends from a select case while holding the mutex.
+func (b *box) sendInSelect() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case b.ch <- 3: // want `channel send while holding mutex b\.mu`
+	default:
+	}
+}
+
+type rbox struct {
+	mu sync.RWMutex
+}
+
+// rleak pairs RLock with nothing.
+func (b *rbox) rleak() int {
+	b.mu.RLock() // want `b\.mu\.RLock without a RUnlock on b\.mu`
+	return 0
+}
+
+// byValue copies the lock state into the callee.
+func byValue(mu sync.Mutex) { // want `sync\.Mutex passed by value as a parameter`
+	_ = mu
+}
+
+// rwByValue does the same with an RWMutex.
+func rwByValue(mu sync.RWMutex) { // want `sync\.RWMutex passed by value as a parameter`
+	_ = mu
+}

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# ci.sh is the repository's CI gate: build, vet, the full test suite under
+# the race detector, and gridlint — the determinism/concurrency analyzer
+# suite (cmd/gridlint, see DESIGN.md "Determinism rules"). Everything must
+# pass with no findings for a change to land.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> gridlint ./..."
+go run ./cmd/gridlint ./...
+
+echo "CI green"
