@@ -18,15 +18,19 @@ type Sent struct {
 // adversarial interleavings — crossing messages, delayed grants —
 // constructible deterministically.
 type World struct {
-	instances map[mutex.ID]mutex.Instance
+	instances map[mutex.ID]mutex.Handler
 	inflight  []Sent
 	locals    []func()
 	log       []Sent // every send ever made, for assertions
 }
 
+// World is a mutex.Fabric, so deployment builders (core.BuildComposed and
+// friends) can be wired directly onto it and hand-stepped.
+var _ mutex.Fabric = (*World)(nil)
+
 // NewWorld returns an empty world.
 func NewWorld() *World {
-	return &World{instances: make(map[mutex.ID]mutex.Instance)}
+	return &World{instances: make(map[mutex.ID]mutex.Handler)}
 }
 
 // Env returns the mutex.Env to configure an instance with, bound to self.
@@ -34,13 +38,21 @@ func (w *World) Env(self mutex.ID) mutex.Env {
 	return &worldEnv{w: w, self: self}
 }
 
-// Add registers a constructed instance under its ID.
-func (w *World) Add(id mutex.ID, inst mutex.Instance) {
+// Add registers a message handler — usually a constructed algorithm
+// instance, for compositions a core.Process — under its ID.
+func (w *World) Add(id mutex.ID, h mutex.Handler) {
 	if _, dup := w.instances[id]; dup {
 		panic(fmt.Sprintf("algotest: instance %d added twice", id))
 	}
-	w.instances[id] = inst
+	w.instances[id] = h
 }
+
+// Endpoint implements mutex.Fabric.
+func (w *World) Endpoint(id mutex.ID) mutex.Env { return w.Env(id) }
+
+// RegisterAt implements mutex.Fabric. The world has no notion of placement
+// or latency, so the topology node is ignored.
+func (w *World) RegisterAt(id mutex.ID, _ int, h mutex.Handler) { w.Add(id, h) }
 
 // Build constructs and registers an instance for every listed member with
 // the shared holder, returning them in member order.
@@ -120,6 +132,26 @@ func (w *World) DeliverAt(i int) {
 	w.deliver(s)
 	w.Settle()
 }
+
+// DuplicateAt re-enqueues a copy of the in-flight message at index i (into
+// the current Inflight order) at the tail of the queue without delivering
+// it: the original still arrives first on its link, the copy arrives again
+// later — the duplication fault of an at-least-once network. The copy is
+// not recorded in the log (it is not a send).
+func (w *World) DuplicateAt(i int) {
+	w.Settle()
+	w.inflight = append(w.inflight, w.inflight[i])
+}
+
+// DropAt removes the in-flight message at index i without delivering it —
+// the loss fault of a best-effort network.
+func (w *World) DropAt(i int) {
+	w.Settle()
+	w.inflight = append(w.inflight[:i], w.inflight[i+1:]...)
+}
+
+// PendingLocals reports how many queued local callbacks have not yet run.
+func (w *World) PendingLocals() int { return len(w.locals) }
 
 func (w *World) deliver(s Sent) {
 	inst, ok := w.instances[s.To]

@@ -1,0 +1,47 @@
+package algorithms_test
+
+import (
+	"testing"
+
+	"gridmutex/internal/algorithms"
+	"gridmutex/internal/mutex"
+)
+
+// recordEnv records sends and runs local callbacks synchronously.
+type recordEnv struct{ sent []mutex.ID }
+
+func (e *recordEnv) Send(to mutex.ID, _ mutex.Message) { e.sent = append(e.sent, to) }
+func (e *recordEnv) Local(f func())                    { f() }
+
+// TestNoSelfSend drives a request/release cycle on a single-member
+// instance of every registered algorithm: the grant must short-circuit
+// locally — mutex.Env leaves self-delivery undefined, so an instance that
+// Sends to its own ID is broken on every transport.
+func TestNoSelfSend(t *testing.T) {
+	for _, name := range algorithms.Names() {
+		t.Run(name, func(t *testing.T) {
+			env := &recordEnv{}
+			acquired := 0
+			inst, err := algorithms.New(name, mutex.Config{
+				Self: 0, Members: []mutex.ID{0}, Holder: 0, Env: env,
+				Callbacks: mutex.Callbacks{OnAcquire: func() { acquired++ }},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for cycle := 1; cycle <= 2; cycle++ {
+				inst.Request()
+				if acquired != cycle {
+					t.Fatalf("cycle %d: acquired %d times", cycle, acquired)
+				}
+				if inst.State() != mutex.InCS {
+					t.Fatalf("cycle %d: state %v after grant", cycle, inst.State())
+				}
+				inst.Release()
+			}
+			if len(env.sent) != 0 {
+				t.Fatalf("single-member instance sent %d messages (to %v), want none", len(env.sent), env.sent)
+			}
+		})
+	}
+}

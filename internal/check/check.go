@@ -12,11 +12,20 @@ import (
 	"gridmutex/internal/mutex"
 )
 
+// Clock is the time source a Monitor stamps its observations with. The DES
+// simulator implements it; schedule exploration (internal/explore)
+// substitutes a schedule-step counter so violations name the step they
+// occurred at.
+type Clock interface {
+	Now() des.Time
+}
+
 // Monitor observes critical section entries and exits in virtual time.
 // It is driven from DES event handlers, which run serially, so it needs no
 // locking.
 type Monitor struct {
-	sim        *des.Simulator
+	clock      Clock
+	sched      *des.Simulator // non-nil only for simulator-backed monitors
 	current    mutex.ID
 	since      des.Time
 	entries    int64
@@ -30,24 +39,35 @@ type Monitor struct {
 
 // NewMonitor returns a monitor bound to the simulator's clock.
 func NewMonitor(sim *des.Simulator) *Monitor {
-	return &Monitor{sim: sim, current: mutex.None, MaxViolations: 64}
+	return &Monitor{clock: sim, sched: sim, current: mutex.None, MaxViolations: 64}
+}
+
+// NewMonitorWithClock returns a monitor stamping observations with an
+// arbitrary clock. WatchLiveness is unavailable on such a monitor (it needs
+// a simulator to schedule its ticks); model-checking drivers use
+// StepLiveness instead.
+func NewMonitorWithClock(c Clock) *Monitor {
+	if c == nil {
+		panic("check: nil clock")
+	}
+	return &Monitor{clock: c, current: mutex.None, MaxViolations: 64}
 }
 
 // Enter records that id entered the critical section now.
 func (m *Monitor) Enter(id mutex.ID) {
 	if m.current != mutex.None {
 		m.violate("safety: %d entered CS at %v while %d has held it since %v",
-			id, m.sim.Now(), m.current, m.since)
+			id, m.clock.Now(), m.current, m.since)
 	}
 	m.current = id
-	m.since = m.sim.Now()
+	m.since = m.clock.Now()
 	m.entries++
 }
 
 // Exit records that id left the critical section now.
 func (m *Monitor) Exit(id mutex.ID) {
 	if m.current != id {
-		m.violate("protocol: %d exited CS at %v but holder is %d", id, m.sim.Now(), m.current)
+		m.violate("protocol: %d exited CS at %v but holder is %d", id, m.clock.Now(), m.current)
 	}
 	m.current = mutex.None
 	m.exits++
@@ -60,6 +80,12 @@ func (m *Monitor) violate(format string, args ...any) {
 	}
 	m.violations = append(m.violations, fmt.Sprintf(format, args...))
 }
+
+// Reportf records an externally detected property violation through the
+// monitor's accounting — the hook model-checking drivers
+// (internal/explore) use so every violation, theirs or the monitor's own,
+// surfaces through one Violations list.
+func (m *Monitor) Reportf(format string, args ...any) { m.violate(format, args...) }
 
 // Violations returns the recorded property violations.
 func (m *Monitor) Violations() []string {
@@ -87,7 +113,7 @@ func (m *Monitor) InCS() mutex.ID { return m.current }
 // and entries match exits — call it after a run drains.
 func (m *Monitor) AssertQuiescent() {
 	if m.current != mutex.None {
-		m.violate("quiescence: %d still in CS at %v", m.current, m.sim.Now())
+		m.violate("quiescence: %d still in CS at %v", m.current, m.clock.Now())
 	}
 	if m.entries != m.exits {
 		m.violate("quiescence: %d entries but %d exits", m.entries, m.exits)
@@ -112,6 +138,9 @@ func (m *Monitor) WatchLiveness(waiting func() int, done func() bool, interval t
 	if interval <= 0 {
 		panic("check: non-positive watchdog interval")
 	}
+	if m.sched == nil {
+		panic("check: WatchLiveness needs a simulator-backed monitor (use StepLiveness with NewMonitorWithClock)")
+	}
 	var tick func()
 	lastEntries := m.entries
 	armed := false
@@ -122,12 +151,69 @@ func (m *Monitor) WatchLiveness(waiting func() int, done func() bool, interval t
 		w := waiting()
 		if armed && w > 0 && m.entries == lastEntries {
 			m.violate("liveness: %d requests waiting but no CS entry between %v and %v",
-				w, des.Time(m.sim.Now())-interval, m.sim.Now())
+				w, des.Time(m.clock.Now())-interval, m.clock.Now())
 			return
 		}
 		armed = w > 0
 		lastEntries = m.entries
-		m.sim.After(interval, tick)
+		m.sched.After(interval, tick)
 	}
-	m.sim.After(interval, tick)
+	m.sched.After(interval, tick)
 }
+
+// StepLiveness is the bounded-liveness assertion of schedule exploration
+// (internal/explore): once the system has no messages in flight, every
+// waiting request must be granted within K further schedule steps. With no
+// message pending, the only remaining transitions are local (requests,
+// releases and the grants they cascade), of which a finite bounded number
+// exists between any two deliveries — K consecutive quiet steps with a
+// request still waiting therefore mean the request will never be granted
+// (a lost token, a forgotten queue entry).
+//
+// Feed every schedule step to Step; a critical section entry or a message
+// appearing in flight resets the counter. The first trip records one
+// violation on the monitor and latches.
+type StepLiveness struct {
+	m           *Monitor
+	k           int
+	lastEntries int64
+	quiet       int
+	tripped     bool
+}
+
+// NewStepLiveness returns a step-bounded liveness assertion recording
+// through m. k is the number of quiet steps tolerated.
+func NewStepLiveness(m *Monitor, k int) *StepLiveness {
+	if m == nil {
+		panic("check: nil monitor")
+	}
+	if k <= 0 {
+		panic("check: non-positive liveness bound")
+	}
+	return &StepLiveness{m: m, k: k}
+}
+
+// Step records one schedule step with the current number of waiting
+// requests and in-flight messages.
+func (s *StepLiveness) Step(waiting, inflight int) {
+	if s.tripped {
+		return
+	}
+	if s.m.Entries() != s.lastEntries {
+		s.lastEntries = s.m.Entries()
+		s.quiet = 0
+	}
+	if waiting == 0 || inflight > 0 {
+		s.quiet = 0
+		return
+	}
+	s.quiet++
+	if s.quiet > s.k {
+		s.tripped = true
+		s.m.Reportf("liveness: %d requests waiting with no message in flight for %d schedule steps (bound %d)",
+			waiting, s.quiet, s.k)
+	}
+}
+
+// Tripped reports whether the bound has been exceeded.
+func (s *StepLiveness) Tripped() bool { return s.tripped }

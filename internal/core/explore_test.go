@@ -1,0 +1,114 @@
+package core_test
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"gridmutex/internal/core"
+	"gridmutex/internal/explore"
+	"gridmutex/internal/topology"
+)
+
+// compositionBuilder wires a two-cluster composed deployment onto the
+// explorer's hand-stepped world: 2 clusters of 2 nodes each, so nodes 0
+// and 2 host coordinators and nodes 1 and 3 are the drivable application
+// processes. Coordinator automaton state and the per-level instances
+// hidden behind each process dispatcher are exposed to the fingerprint
+// cache through probes, so pruning cannot conflate states that differ
+// only inside the hierarchy.
+func compositionBuilder(spec core.Spec) explore.Builder {
+	return func() (*explore.System, error) {
+		sys := explore.NewSystem()
+		grid := topology.Uniform(2, 2, time.Millisecond, 10*time.Millisecond)
+		d, err := core.BuildComposed(sys.World, grid, spec, sys.Callbacks)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range d.Apps {
+			sys.AddApp(a.ID, a.Instance)
+		}
+		for _, c := range d.Coordinators {
+			c := c
+			sys.AddProbe(func() string {
+				return fmt.Sprintf("c%d=%s", c.ID(), c.State())
+			})
+		}
+		for id, p := range d.Procs {
+			id, p := id, p
+			sys.AddProbe(func() string {
+				var b strings.Builder
+				fmt.Fprintf(&b, "p%d=", id)
+				for lvl := core.Level(0); ; lvl++ {
+					inst := p.Instance(lvl)
+					if inst == nil {
+						break
+					}
+					fmt.Fprintf(&b, "%d%t%t,", inst.State(), inst.HoldsToken(), inst.HasPending())
+				}
+				return b.String()
+			})
+		}
+		return sys, nil
+	}
+}
+
+// TestExploreComposition explores every bounded interleaving of a
+// two-level Naimi-Martin composition: application requests funnel through
+// the coordinators' intra/inter bridging, and no ordering of the
+// envelope deliveries may violate mutual exclusion or leave a request
+// stuck. GRIDMUTEX_EXPLORE_LONG=1 requires full exhaustion.
+func TestExploreComposition(t *testing.T) {
+	long := os.Getenv("GRIDMUTEX_EXPLORE_LONG") != ""
+	b := compositionBuilder(core.Spec{Intra: "naimi", Inter: "martin"})
+	// Four requests per app: with two drivable apps on a 2x2 grid the
+	// composed space exhausts at ~1.5k schedules, past the >=1000-schedule
+	// acceptance bar but still well under a second.
+	opts := explore.Options{
+		RequestsPerApp: 4,
+		MaxSteps:       160,
+	}
+	if !long {
+		opts.MaxSchedules = 2000
+	}
+	res, err := explore.ExploreDFS(b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counterexample != nil {
+		t.Fatalf("violation in %d schedules: %v\nschedule: %s\n%s",
+			res.Schedules, res.Counterexample.Violations,
+			res.Counterexample.Schedule, res.Counterexample.JSON())
+	}
+	if long {
+		if !res.Exhausted {
+			t.Fatalf("space not exhausted after %d schedules", res.Schedules)
+		}
+		if res.Schedules < 1000 {
+			t.Fatalf("exhausted too quickly for the acceptance bar: %d schedules", res.Schedules)
+		}
+	}
+	t.Logf("%d schedules, %d states, %d steps, %d pruned, %d truncated, exhausted=%v",
+		res.Schedules, res.States, res.Steps, res.Pruned, res.Truncated, res.Exhausted)
+}
+
+// TestExploreCompositionRandom PCT-samples a second composition (different
+// intra and inter algorithms) as a cheap diversity complement to the DFS.
+func TestExploreCompositionRandom(t *testing.T) {
+	b := compositionBuilder(core.Spec{Intra: "suzuki", Inter: "naimi"})
+	res, err := explore.ExploreRandom(b, explore.Options{
+		RequestsPerApp: 2,
+		MaxSteps:       128,
+		MaxSchedules:   100,
+		Seed:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counterexample != nil {
+		t.Fatalf("violation: %v\nschedule: %s",
+			res.Counterexample.Violations, res.Counterexample.Schedule)
+	}
+}

@@ -1,0 +1,115 @@
+package explore
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ExploreRandom samples the schedule space with PCT-style randomized
+// priorities (Burckhardt et al.'s probabilistic concurrency testing,
+// adapted from threads to schedule actors): every actor — an ordered
+// message link or an application node — draws a random priority at first
+// sight, each step runs the highest-priority enabled choice, and at a few
+// random change points the just-scheduled actor's priority drops below
+// everyone else's. This concentrates probability on schedules with few
+// preemptions, where ordering bugs overwhelmingly live, while staying
+// fully deterministic for a given Seed.
+//
+// Like ExploreDFS it stops at the first violation; MaxSchedules bounds the
+// number of samples (default 200).
+func ExploreRandom(b Builder, opts Options) (*Result, error) {
+	o := opts.fill()
+	if o.MaxSchedules <= 0 {
+		o.MaxSchedules = 200
+	}
+	res := &Result{}
+	for i := 0; i < o.MaxSchedules; i++ {
+		rng := rand.New(rand.NewSource(o.Seed + int64(i)))
+		sys, err := build(b, o)
+		if err != nil {
+			return nil, err
+		}
+		res.Schedules++
+		dups, drops := o.MaxDuplicates, o.MaxDrops
+
+		// Priority change points: distinct schedule depths, drawn once
+		// per schedule.
+		ncp := o.PriorityChangePoints
+		if max := o.MaxSteps - 1; ncp > max {
+			ncp = max
+		}
+		cps := make(map[int]bool, ncp)
+		for len(cps) < ncp {
+			cps[1+rng.Intn(o.MaxSteps)] = true
+		}
+
+		prio := make(map[string]float64)
+		demoted := 0.0 // strictly decreasing floor for demoted actors
+		// Actors: each node (its requests and releases), each link's
+		// deliveries, and each link's fault actions separately — a fault
+		// sharing its link's priority would always lose the in-order tie
+		// to the delivery and never fire.
+		actorKey := func(c Choice) string {
+			switch c.Op {
+			case OpRequest, OpRelease:
+				return fmt.Sprintf("n%d", c.Node)
+			case OpDeliver:
+				return fmt.Sprintf("l%d>%d", c.From, c.To)
+			default:
+				return fmt.Sprintf("%s%d>%d", c.Op, c.From, c.To)
+			}
+		}
+
+		var sched Schedule
+		violated := false
+		for len(sched) < o.MaxSteps {
+			en := sys.enabled(o, dups, drops)
+			if len(en) == 0 {
+				sys.checkTerminal(o)
+				violated = !sys.mon.Ok()
+				break
+			}
+			best, bestP := 0, math.Inf(-1)
+			for j, c := range en {
+				k := actorKey(c)
+				p, ok := prio[k]
+				if !ok {
+					p = rng.Float64()
+					prio[k] = p
+				}
+				if p > bestP {
+					bestP, best = p, j
+				}
+			}
+			c := en[best]
+			switch c.Op {
+			case OpDuplicate:
+				dups--
+			case OpDrop:
+				drops--
+			}
+			if err := sys.apply(c); err != nil {
+				return nil, fmt.Errorf("explore: enabled choice failed to apply: %w", err)
+			}
+			sched = append(sched, c)
+			res.Steps++
+			if !sys.mon.Ok() {
+				violated = true
+				break
+			}
+			if cps[len(sched)] {
+				demoted--
+				prio[actorKey(c)] = demoted
+			}
+		}
+		if violated {
+			res.Counterexample = &Counterexample{Schedule: sched, Violations: sys.mon.Violations()}
+			return res, nil
+		}
+		if len(sched) >= o.MaxSteps {
+			res.Truncated++
+		}
+	}
+	return res, nil
+}

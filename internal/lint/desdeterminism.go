@@ -32,6 +32,7 @@ var DESDeterminism = &Analyzer{
 		"internal/stats",
 		"internal/harness",
 		"internal/reliable",
+		"internal/explore",
 	),
 	Run: runDESDeterminism,
 }

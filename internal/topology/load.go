@@ -3,6 +3,7 @@ package topology
 import (
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 	"time"
@@ -74,6 +75,19 @@ func ParseMatrixSpec(r io.Reader) (*Matrix, error) {
 		return nil, fmt.Errorf("topology: header %q needs a label and at least one cluster", lines[0])
 	}
 	names := header[1:]
+	seen := make(map[string]bool, len(names))
+	for _, n := range names {
+		// A name opening with '#' would render as a comment line and a
+		// duplicate would make rows ambiguous: neither can round-trip
+		// through the file format.
+		if strings.HasPrefix(n, "#") {
+			return nil, fmt.Errorf("topology: cluster name %q starts with the comment marker", n)
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("topology: duplicate cluster name %q", n)
+		}
+		seen[n] = true
+	}
 	if len(lines)-1 != len(names) {
 		return nil, fmt.Errorf("topology: %d clusters in header but %d rows", len(names), len(lines)-1)
 	}
@@ -93,31 +107,55 @@ func ParseMatrixSpec(r io.Reader) (*Matrix, error) {
 			if err != nil {
 				return nil, fmt.Errorf("topology: row %q column %d: %w", fields[0], j, err)
 			}
+			if math.IsNaN(ms) || math.IsInf(ms, 0) {
+				return nil, fmt.Errorf("topology: row %q column %d: RTT %q is not finite", fields[0], j, f)
+			}
 			if ms < 0 {
 				return nil, fmt.Errorf("topology: row %q column %d: negative RTT", fields[0], j)
 			}
-			row[j] = time.Duration(ms * float64(time.Millisecond))
+			ns := ms * float64(time.Millisecond)
+			if ns >= float64(math.MaxInt64) {
+				return nil, fmt.Errorf("topology: row %q column %d: RTT %q overflows", fields[0], j, f)
+			}
+			row[j] = time.Duration(ns)
 		}
 		rtt[i] = row
 	}
 	return &Matrix{Names: names, RTT: rtt}, nil
 }
 
-// FormatMatrix renders the grid's RTT matrix in the format ParseMatrix
-// reads, so measured topologies round-trip through files.
-func FormatMatrix(g *Grid) string {
+// Format renders the matrix in the format ParseMatrixSpec reads, so
+// measured topologies round-trip through files. Durations are written
+// with microsecond (three decimal millisecond) precision — the resolution
+// of the paper's measurements — so formatting an already-formatted matrix
+// is a fixed point.
+func (m *Matrix) Format() string {
 	var b strings.Builder
 	b.WriteString("from")
-	for c := 0; c < g.NumClusters(); c++ {
-		fmt.Fprintf(&b, " %s", g.ClusterName(c))
+	for _, n := range m.Names {
+		fmt.Fprintf(&b, " %s", n)
 	}
 	b.WriteByte('\n')
-	for i := 0; i < g.NumClusters(); i++ {
-		b.WriteString(g.ClusterName(i))
-		for j := 0; j < g.NumClusters(); j++ {
-			fmt.Fprintf(&b, " %.3f", float64(g.RTT(i, j))/float64(time.Millisecond))
+	for i, n := range m.Names {
+		b.WriteString(n)
+		for j := range m.Names {
+			fmt.Fprintf(&b, " %.3f", float64(m.RTT[i][j])/float64(time.Millisecond))
 		}
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// FormatMatrix renders the grid's RTT matrix in the format ParseMatrix
+// reads, so measured topologies round-trip through files.
+func FormatMatrix(g *Grid) string {
+	m := Matrix{Names: make([]string, g.NumClusters()), RTT: make([][]time.Duration, g.NumClusters())}
+	for i := range m.Names {
+		m.Names[i] = g.ClusterName(i)
+		m.RTT[i] = make([]time.Duration, g.NumClusters())
+		for j := range m.RTT[i] {
+			m.RTT[i][j] = g.RTT(i, j)
+		}
+	}
+	return m.Format()
 }

@@ -15,6 +15,13 @@ go vet ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> bounded schedule exploration (GRIDMUTEX_EXPLORE_LONG=1 for exhaustive)"
+go test -race -run 'TestExplore' ./internal/explore/ ./internal/algorithms/ ./internal/core/
+
+echo "==> fuzz targets, 10s each"
+go test -fuzz=FuzzDecode -fuzztime=10s -run '^$' ./internal/livenet/wire
+go test -fuzz=FuzzLoad -fuzztime=10s -run '^$' ./internal/topology
+
 echo "==> gridlint ./..."
 go run ./cmd/gridlint ./...
 
