@@ -2,6 +2,7 @@ package gridmutex
 
 import (
 	"context"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -56,6 +57,25 @@ func reportFigure(b *testing.B, systems []harness.System, metric harness.Metric,
 			v = p.InterMsgsPerCS
 		}
 		b.ReportMetric(v, metricLabel(sys.Name, unit))
+	}
+}
+
+// BenchmarkParallelHarness measures the fig4a experiment grid at each
+// fan-out width. On a single core the interesting number is the overhead
+// of the pool (should be ~none); on a multi-core box the per-op time
+// should drop with workers.
+func BenchmarkParallelHarness(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			scale := benchScale()
+			scale.Repetitions = 2
+			scale.Workers = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := harness.Run(harness.CompositionSystems(), scale, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -16,20 +16,63 @@
 //
 //	gridbench -experiment all -scale paper
 //	gridbench -experiment fig4a -scale quick
+//	gridbench -experiment fig4a -scale quick -parallel 8 -json bench.json
+//
+// With -parallel N the harness fans repetitions out over N goroutines;
+// results are byte-identical to a serial run. With -json the command also
+// runs the experiment serially, verifies the parallel output matches, and
+// writes a machine-readable benchmark record (wall times, events/sec,
+// speedup) to the given path.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"gridmutex"
 )
 
+// benchRecord is the machine-readable benchmark result -json emits.
+type benchRecord struct {
+	// Schema versions the record layout.
+	Schema string `json:"schema"`
+	// Experiment and Scale echo the command line.
+	Experiment string `json:"experiment"`
+	Scale      string `json:"scale"`
+	// Workers is the resolved -parallel value (GOMAXPROCS substituted for
+	// 0 or negative).
+	Workers int `json:"workers"`
+	// Cells and Runs count experiment cells and seeded simulations.
+	Cells int `json:"cells"`
+	Runs  int `json:"runs"`
+	// Events is the total DES events processed (one experiment pass).
+	Events int64 `json:"events"`
+	// WallMS is the wall-clock time of the parallel pass; EventsPerSec its
+	// DES throughput.
+	WallMS       float64 `json:"wall_ms"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	// SerialWallMS and Speedup compare against the serial reference pass
+	// (present only when workers > 1).
+	SerialWallMS float64 `json:"serial_wall_ms,omitempty"`
+	Speedup      float64 `json:"speedup,omitempty"`
+	// Identical reports whether the parallel figures matched the serial
+	// ones byte for byte (always true when the record is written by a
+	// successful run; a mismatch aborts with exit 1).
+	Identical bool `json:"identical"`
+	// Figures holds the rendered figure text keyed by figure name.
+	Figures map[string]string `json:"figures"`
+}
+
 func main() {
 	experiment := flag.String("experiment", "all", "figure to regenerate, or 'all' (one of: all "+strings.Join(gridmutex.Figures(), " ")+")")
 	scaleName := flag.String("scale", "paper", "experiment scale: 'paper' (9 Grid5000 clusters, N=180, 100 CS, 10 reps) or 'quick'")
+	parallel := flag.Int("parallel", 1, "worker goroutines for repetitions (0 = GOMAXPROCS); results are identical for every value")
+	jsonPath := flag.String("json", "", "write a machine-readable benchmark record to this path (runs a serial reference pass for comparison when -parallel > 1)")
 	quiet := flag.Bool("q", false, "suppress per-cell progress output")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	flag.Parse()
@@ -58,22 +101,87 @@ func main() {
 		progress = nil
 	}
 
-	if *experiment == "all" {
-		tabs, err := gridmutex.ReproduceAll(scale, progress)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "gridbench:", err)
-			os.Exit(1)
+	run := func(workers int, prog func(string)) (map[string]string, gridmutex.RunInfo, time.Duration, error) {
+		opt := gridmutex.RunOptions{Workers: workers}
+		start := time.Now()
+		var figs map[string]string
+		var info gridmutex.RunInfo
+		var err error
+		if *experiment == "all" {
+			figs, info, err = gridmutex.ReproduceAllWith(scale, opt, prog)
+		} else {
+			var tab string
+			tab, info, err = gridmutex.ReproduceFigureWith(*experiment, scale, opt, prog)
+			figs = map[string]string{*experiment: tab}
 		}
-		for _, f := range gridmutex.Figures() {
-			fmt.Println(tabs[f])
-		}
-		return
+		return figs, info, time.Since(start), err
 	}
 
-	tab, err := gridmutex.ReproduceFigure(*experiment, scale, progress)
+	figs, info, wall, err := run(*parallel, progress)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gridbench:", err)
 		os.Exit(1)
 	}
-	fmt.Println(tab)
+
+	if *jsonPath != "" {
+		workers := *parallel
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		rec := benchRecord{
+			Schema:     "gridbench/1",
+			Experiment: *experiment,
+			Scale:      *scaleName,
+			Workers:    workers,
+			Cells:      info.Cells,
+			Runs:       info.Runs,
+			Events:     info.Events,
+			WallMS:     float64(wall) / float64(time.Millisecond),
+			Identical:  true,
+			Figures:    figs,
+		}
+		if wall > 0 {
+			rec.EventsPerSec = float64(info.Events) / wall.Seconds()
+		}
+		if workers > 1 {
+			// Serial reference pass: same experiment, one worker. The
+			// figures must match byte for byte — that is the whole
+			// deterministic-merge contract.
+			serialFigs, _, serialWall, err := run(1, nil)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gridbench: serial reference pass:", err)
+				os.Exit(1)
+			}
+			for name, tab := range figs {
+				if serialFigs[name] != tab {
+					fmt.Fprintf(os.Stderr, "gridbench: parallel output for %s differs from serial reference\n", name)
+					os.Exit(1)
+				}
+			}
+			rec.SerialWallMS = float64(serialWall) / float64(time.Millisecond)
+			if wall > 0 {
+				rec.Speedup = float64(serialWall) / float64(wall)
+			}
+		}
+		buf, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gridbench:", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "gridbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "gridbench: wrote %s (%d cells, %d runs, %d events, %.0f ms)\n",
+			*jsonPath, rec.Cells, rec.Runs, rec.Events, rec.WallMS)
+	}
+
+	if *experiment == "all" {
+		for _, f := range gridmutex.Figures() {
+			fmt.Println(figs[f])
+		}
+		return
+	}
+	fmt.Println(figs[*experiment])
 }

@@ -26,17 +26,49 @@ func (s ExperimentScale) scale() harness.Scale {
 	return harness.QuickScale()
 }
 
+// RunOptions tunes how figure experiments execute without changing what
+// they compute.
+type RunOptions struct {
+	// Workers fans each experiment's repetitions out across this many
+	// goroutines (0 or 1 = serial on the calling goroutine, negative =
+	// GOMAXPROCS). Results are byte-identical for every setting.
+	Workers int
+}
+
+// RunInfo reports the simulation work behind a regenerated figure, for
+// benchmark records.
+type RunInfo struct {
+	// Cells is the number of (system, parameter) experiment cells.
+	Cells int
+	// Runs is the number of individual seeded simulations.
+	Runs int
+	// Events is the total DES events processed across all runs.
+	Events int64
+}
+
+func (a RunInfo) add(b RunInfo) RunInfo {
+	return RunInfo{Cells: a.Cells + b.Cells, Runs: a.Runs + b.Runs, Events: a.Events + b.Events}
+}
+
+func infoOf(points []harness.Point, reps int) RunInfo {
+	info := RunInfo{Cells: len(points), Runs: len(points) * reps}
+	for i := range points {
+		info.Events += points[i].Events
+	}
+	return info
+}
+
 // figureSpec wires one figure name to the experiment producing it.
 type figureSpec struct {
 	describe string
-	run      func(scale harness.Scale, progress func(string)) (string, error)
+	run      func(scale harness.Scale, progress func(string)) (string, RunInfo, error)
 }
 
 var figureSpecs = map[string]figureSpec{
 	"fig3": {
 		describe: "Grid5000 RTT latency matrix (input data, encoded verbatim)",
-		run: func(harness.Scale, func(string)) (string, error) {
-			return harness.Figure3Table(), nil
+		run: func(harness.Scale, func(string)) (string, RunInfo, error) {
+			return harness.Figure3Table(), RunInfo{}, nil
 		},
 	},
 	"fig4a": {describe: "obtaining time vs rho: original Naimi vs compositions",
@@ -52,65 +84,70 @@ var figureSpecs = map[string]figureSpec{
 	"fig6b": {describe: "intra algorithm choice: standard deviation vs rho",
 		run: intraFigure(harness.ObtainingStd, "Figure 6(b)")},
 	"scale": {describe: "section 4.7 scalability: messages per CS vs cluster count",
-		run: func(scale harness.Scale, progress func(string)) (string, error) {
+		run: func(scale harness.Scale, progress func(string)) (string, RunInfo, error) {
 			clusters := []int{2, 3, 6, 9, 12}
 			if scale.CSPerProcess >= 100 { // paper scale: keep runtime sane
 				clusters = []int{3, 6, 9, 12, 15}
 			}
 			res, err := harness.RunScalability(harness.ScalabilitySystems(), scale, clusters, progress)
 			if err != nil {
-				return "", err
+				return "", RunInfo{}, err
 			}
-			return res.Table("Section 4.7"), nil
+			info := RunInfo{Cells: len(res.Points), Runs: len(res.Points) * scale.Repetitions}
+			for i := range res.Points {
+				info.Events += res.Points[i].Events
+			}
+			return res.Table("Section 4.7"), info, nil
 		}},
 	"locality": {describe: "locality analysis: per-cluster obtaining time under a hotspot workload",
-		run: func(scale harness.Scale, progress func(string)) (string, error) {
+		run: func(scale harness.Scale, progress func(string)) (string, RunInfo, error) {
 			n := float64(scale.N())
 			res, err := harness.RunLocality(harness.LocalitySystems(), scale, 8*n, 0, 8, progress)
 			if err != nil {
-				return "", err
+				return "", RunInfo{}, err
 			}
-			return res.LocalityTable("Locality under an 8x hot cluster 0", 0), nil
+			return res.LocalityTable("Locality under an 8x hot cluster 0", 0),
+				infoOf(res.Points, scale.Repetitions), nil
 		}},
 	"bias": {describe: "related-work extension (Bertier et al.): serve local requests before inter handoffs",
-		run: func(scale harness.Scale, progress func(string)) (string, error) {
+		run: func(scale harness.Scale, progress func(string)) (string, RunInfo, error) {
 			// Two rhos spanning saturated and sparse regimes.
 			n := float64(scale.N())
 			scale.Rhos = []float64{n / 2, 4 * n}
 			res, err := harness.Run(harness.BiasSystems(), scale, progress)
 			if err != nil {
-				return "", err
+				return "", RunInfo{}, err
 			}
-			return res.BiasTable("Local bias ablation"), nil
+			return res.BiasTable("Local bias ablation"), infoOf(res.Points, scale.Repetitions), nil
 		}},
 	"adaptive": {describe: "section 6 extension: adaptive inter algorithm on a phased workload",
-		run: func(scale harness.Scale, progress func(string)) (string, error) {
+		run: func(scale harness.Scale, progress func(string)) (string, RunInfo, error) {
 			scale.Phases = harness.AdaptivePhases(scale)
 			res, err := harness.RunPhased(harness.AdaptiveSystems(), scale, progress)
 			if err != nil {
-				return "", err
+				return "", RunInfo{}, err
 			}
-			return res.PhasedTable("Adaptive composition"), nil
+			return res.PhasedTable("Adaptive composition"), infoOf(res.Points, scale.Repetitions), nil
 		}},
 }
 
-func compositionFigure(m harness.Metric, title string) func(harness.Scale, func(string)) (string, error) {
-	return func(scale harness.Scale, progress func(string)) (string, error) {
+func compositionFigure(m harness.Metric, title string) func(harness.Scale, func(string)) (string, RunInfo, error) {
+	return func(scale harness.Scale, progress func(string)) (string, RunInfo, error) {
 		res, err := harness.Run(harness.CompositionSystems(), scale, progress)
 		if err != nil {
-			return "", err
+			return "", RunInfo{}, err
 		}
-		return tableAndChart(res, m, title), nil
+		return tableAndChart(res, m, title), infoOf(res.Points, scale.Repetitions), nil
 	}
 }
 
-func intraFigure(m harness.Metric, title string) func(harness.Scale, func(string)) (string, error) {
-	return func(scale harness.Scale, progress func(string)) (string, error) {
+func intraFigure(m harness.Metric, title string) func(harness.Scale, func(string)) (string, RunInfo, error) {
+	return func(scale harness.Scale, progress func(string)) (string, RunInfo, error) {
 		res, err := harness.Run(harness.IntraSystems(), scale, progress)
 		if err != nil {
-			return "", err
+			return "", RunInfo{}, err
 		}
-		return tableAndChart(res, m, title), nil
+		return tableAndChart(res, m, title), infoOf(res.Points, scale.Repetitions), nil
 	}
 }
 
@@ -142,24 +179,43 @@ func DescribeFigure(name string) (string, error) {
 // ReproduceFigure regenerates one of the paper's figures as a text table.
 // progress, when non-nil, receives a line per completed experiment cell.
 func ReproduceFigure(name string, scale ExperimentScale, progress func(string)) (string, error) {
+	out, _, err := ReproduceFigureWith(name, scale, RunOptions{}, progress)
+	return out, err
+}
+
+// ReproduceFigureWith is ReproduceFigure with execution options, also
+// reporting how much simulation work the figure required.
+func ReproduceFigureWith(name string, scale ExperimentScale, opt RunOptions, progress func(string)) (string, RunInfo, error) {
 	spec, ok := figureSpecs[name]
 	if !ok {
-		return "", fmt.Errorf("gridmutex: unknown figure %q (have %v)", name, Figures())
+		return "", RunInfo{}, fmt.Errorf("gridmutex: unknown figure %q (have %v)", name, Figures())
 	}
-	return spec.run(scale.scale(), progress)
+	s := scale.scale()
+	s.Workers = opt.Workers
+	return spec.run(s, progress)
 }
 
 // ReproduceAll regenerates every figure, sharing the underlying experiment
 // runs between figures that plot different metrics of the same data (4a/4b/
 // 5a/5b come from one run; 6a/6b from another).
 func ReproduceAll(scale ExperimentScale, progress func(string)) (map[string]string, error) {
+	out, _, err := ReproduceAllWith(scale, RunOptions{}, progress)
+	return out, err
+}
+
+// ReproduceAllWith is ReproduceAll with execution options, also reporting
+// the total simulation work.
+func ReproduceAllWith(scale ExperimentScale, opt RunOptions, progress func(string)) (map[string]string, RunInfo, error) {
 	s := scale.scale()
+	s.Workers = opt.Workers
 	out := map[string]string{"fig3": harness.Figure3Table()}
+	var info RunInfo
 
 	comp, err := harness.Run(harness.CompositionSystems(), s, progress)
 	if err != nil {
-		return nil, fmt.Errorf("gridmutex: composition experiment: %w", err)
+		return nil, info, fmt.Errorf("gridmutex: composition experiment: %w", err)
 	}
+	info = info.add(infoOf(comp.Points, s.Repetitions))
 	out["fig4a"] = tableAndChart(comp, harness.ObtainingMean, "Figure 4(a)")
 	out["fig4b"] = tableAndChart(comp, harness.InterMsgs, "Figure 4(b)")
 	out["fig5a"] = tableAndChart(comp, harness.ObtainingStd, "Figure 5(a)")
@@ -167,17 +223,19 @@ func ReproduceAll(scale ExperimentScale, progress func(string)) (map[string]stri
 
 	intra, err := harness.Run(harness.IntraSystems(), s, progress)
 	if err != nil {
-		return nil, fmt.Errorf("gridmutex: intra experiment: %w", err)
+		return nil, info, fmt.Errorf("gridmutex: intra experiment: %w", err)
 	}
+	info = info.add(infoOf(intra.Points, s.Repetitions))
 	out["fig6a"] = tableAndChart(intra, harness.ObtainingMean, "Figure 6(a)")
 	out["fig6b"] = tableAndChart(intra, harness.ObtainingStd, "Figure 6(b)")
 
 	for _, name := range []string{"scale", "adaptive", "bias", "locality"} {
-		tab, err := figureSpecs[name].run(s, progress)
+		tab, figInfo, err := figureSpecs[name].run(s, progress)
 		if err != nil {
-			return nil, fmt.Errorf("gridmutex: %s experiment: %w", name, err)
+			return nil, info, fmt.Errorf("gridmutex: %s experiment: %w", name, err)
 		}
+		info = info.add(figInfo)
 		out[name] = tab
 	}
-	return out, nil
+	return out, info, nil
 }

@@ -8,7 +8,6 @@
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -24,29 +23,62 @@ type event struct {
 	fn  func()
 }
 
-// eventQueue is a binary min-heap ordered by (at, seq).
-type eventQueue []*event
+// eventQueue is a binary min-heap of events by value, ordered by
+// (at, seq). The heap is hand-rolled rather than built on container/heap
+// because that interface moves every element through `any`, boxing each
+// event onto the garbage-collected heap; storing values in one slice
+// makes scheduling allocation-free once the queue's backing array has
+// grown to the simulation's high-water mark.
+type eventQueue []event
 
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) less(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
 	}
 	return q[i].seq < q[j].seq
 }
 
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+// push adds e and restores the heap invariant (sift-up).
+func (q *eventQueue) push(e event) {
+	h := append(*q, e)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	*q = h
+}
 
-func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+// pop removes and returns the minimum event (sift-down).
+func (q *eventQueue) pop() event {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // release the closure for the collector
+	h = h[:n]
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		min := left
+		if right := left + 1; right < n && h.less(right, left) {
+			min = right
+		}
+		if !h.less(min, i) {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	*q = h
+	return top
 }
 
 // Simulator is a single-threaded discrete-event scheduler. It is not safe
@@ -84,7 +116,7 @@ func (s *Simulator) At(t Time, fn func()) {
 		panic(fmt.Sprintf("des: scheduling into the past (now=%v, at=%v)", s.now, t))
 	}
 	s.seq++
-	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+	s.queue.push(event{at: t, seq: s.seq, fn: fn})
 }
 
 // After schedules fn to run d after the current virtual time. A negative d
@@ -99,7 +131,7 @@ func (s *Simulator) Step() bool {
 	if len(s.queue) == 0 {
 		return false
 	}
-	e := heap.Pop(&s.queue).(*event)
+	e := s.queue.pop()
 	s.now = e.at
 	s.processed++
 	e.fn()

@@ -269,6 +269,54 @@ func TestPropertyDeterminism(t *testing.T) {
 	}
 }
 
+// TestSteadyStateSchedulingAllocs pins the event queue's allocation
+// behavior: once the backing array has grown to the high-water mark,
+// scheduling and draining events allocates nothing (events are stored by
+// value in the heap slice, not boxed per At call).
+func TestSteadyStateSchedulingAllocs(t *testing.T) {
+	s := New()
+	fn := func() {}
+	// Grow the queue to its high-water mark once.
+	for j := 0; j < 1024; j++ {
+		s.At(s.Now()+Time(j%13)*time.Millisecond, fn)
+	}
+	s.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		for j := 0; j < 1024; j++ {
+			s.At(s.Now()+Time(j%13)*time.Millisecond, fn)
+		}
+		s.Run()
+	})
+	if allocs > 1 {
+		t.Errorf("steady-state schedule+run of 1024 events allocates %.1f times, want ~0", allocs)
+	}
+}
+
+// TestHeapOrderAfterInterleavedPops stresses the hand-rolled sift
+// routines: interleaved pushes and pops must still drain in (at, seq)
+// order.
+func TestHeapOrderAfterInterleavedPops(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := New()
+	var fired []Time
+	record := func() { fired = append(fired, s.Now()) }
+	for round := 0; round < 20; round++ {
+		for j := 0; j < 50; j++ {
+			s.At(s.Now()+time.Duration(rng.Intn(5000))*time.Microsecond, record)
+		}
+		for j := 0; j < 25; j++ {
+			s.Step()
+		}
+	}
+	s.Run()
+	if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+		t.Fatal("events fired out of time order after interleaved pops")
+	}
+	if got := uint64(len(fired)); s.Processed() != got || got != 20*50 {
+		t.Fatalf("processed %d events, fired %d, want %d", s.Processed(), got, 20*50)
+	}
+}
+
 func BenchmarkScheduleAndRun(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

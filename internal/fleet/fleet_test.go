@@ -1,0 +1,137 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapReturnsResultsInIndexOrder(t *testing.T) {
+	got, err := Map(100, 8, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatalf("Map failed: %v", err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("got %d results, want 100", len(got))
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result %d is %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(0, 4, func(i int) (int, error) { return i, nil })
+	if err != nil || got != nil {
+		t.Fatalf("Map(0) = (%v, %v), want (nil, nil)", got, err)
+	}
+}
+
+func TestMapMoreJobsThanWorkers(t *testing.T) {
+	// Far more jobs than workers, with a shared counter touched from every
+	// job; meaningful mostly under -race.
+	var ran atomic.Int64
+	got, err := Map(500, 3, func(i int) (int, error) {
+		ran.Add(1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatalf("Map failed: %v", err)
+	}
+	if ran.Load() != 500 || len(got) != 500 {
+		t.Fatalf("ran %d jobs, returned %d results, want 500 each", ran.Load(), len(got))
+	}
+}
+
+func TestMapWorkersClampedToJobs(t *testing.T) {
+	// More workers than jobs must not deadlock or run anything twice.
+	var ran atomic.Int64
+	if _, err := Map(2, 64, func(i int) (int, error) {
+		ran.Add(1)
+		return i, nil
+	}); err != nil {
+		t.Fatalf("Map failed: %v", err)
+	}
+	if ran.Load() != 2 {
+		t.Fatalf("ran %d jobs, want 2", ran.Load())
+	}
+}
+
+func TestMapDefaultWorkers(t *testing.T) {
+	// workers <= 0 means GOMAXPROCS; just verify it completes correctly.
+	got, err := Map(10, 0, func(i int) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatalf("Map failed: %v", err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("got %d results, want 10", len(got))
+	}
+	_ = runtime.GOMAXPROCS(0)
+}
+
+func TestMapLowestIndexErrorWins(t *testing.T) {
+	// Several jobs fail; the reported error must be the lowest index's,
+	// matching what a serial loop would have returned first.
+	wantErr := errors.New("boom 7")
+	_, err := Map(64, 8, func(i int) (int, error) {
+		switch i {
+		case 7:
+			return 0, wantErr
+		case 23, 41:
+			return 0, fmt.Errorf("boom %d", i)
+		}
+		return i, nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("Map error = %v, want the index-7 error", err)
+	}
+}
+
+func TestMapErrorStopsLaterJobs(t *testing.T) {
+	// After an early failure, far-later indices must not start. With one
+	// worker the claim order is strictly sequential, so nothing past the
+	// failing index may run.
+	var ran atomic.Int64
+	_, err := Map(100, 1, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 3 {
+			return 0, errors.New("stop here")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("Map did not report the error")
+	}
+	if got := ran.Load(); got > 5 {
+		t.Fatalf("%d jobs ran after an index-3 failure with 1 worker, want <= 5", got)
+	}
+}
+
+func TestMapPanicPropagates(t *testing.T) {
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("worker panic was swallowed")
+		}
+		msg, ok := v.(string)
+		if !ok {
+			t.Fatalf("panic value %T, want string", v)
+		}
+		if !strings.Contains(msg, "job 5 panicked: kaboom") {
+			t.Fatalf("panic message %q does not name job 5", msg)
+		}
+		if !strings.Contains(msg, "worker stack:") {
+			t.Fatalf("panic message %q is missing the worker stack", msg)
+		}
+	}()
+	Map(16, 4, func(i int) (int, error) {
+		if i == 5 {
+			panic("kaboom")
+		}
+		return i, nil
+	})
+}

@@ -133,6 +133,7 @@ type ScalePoint struct {
 	TotalMsgsPerCS float64
 	InterMsgsPerCS float64
 	BytesPerCS     float64
+	Events         int64
 }
 
 // ScalabilityResult aggregates the section 4.7 experiment.
@@ -169,27 +170,32 @@ func ScalabilitySystems() []System {
 // the node count varies.
 func RunScalability(systems []System, scale Scale, clusters []int, progress func(string)) (*ScalabilityResult, error) {
 	res := &ScalabilityResult{Systems: systems, Clusters: clusters}
+	cells := make([]cell, 0, len(systems)*len(clusters))
 	for _, sys := range systems {
 		for _, k := range clusters {
 			s := scale
 			s.Clusters = k
 			s.UseGrid5000 = false
 			rho := 2 * float64(s.N()) // intermediate parallelism for every size
-			p, err := runCell(sys, s, rho)
-			if err != nil {
-				return nil, fmt.Errorf("harness: scalability %s at %d clusters: %w", sys.Name, k, err)
-			}
-			res.Points = append(res.Points, ScalePoint{
-				System: sys.Name, Clusters: k,
-				TotalMsgsPerCS: p.TotalMsgsPerCS,
-				InterMsgsPerCS: p.InterMsgsPerCS,
-				BytesPerCS:     p.InterBytesPerCS,
-			})
-			if progress != nil {
-				progress(fmt.Sprintf("%-22s clusters=%2d  msgs/CS=%7.2f  inter/CS=%6.2f",
-					sys.Name, k, p.TotalMsgsPerCS, p.InterMsgsPerCS))
-			}
+			cells = append(cells, cell{sys: sys, scale: s, rho: rho})
 		}
+	}
+	emit := func(ci int, p *Point) {
+		k := clusters[ci%len(clusters)]
+		res.Points = append(res.Points, ScalePoint{
+			System: p.System, Clusters: k,
+			TotalMsgsPerCS: p.TotalMsgsPerCS,
+			InterMsgsPerCS: p.InterMsgsPerCS,
+			BytesPerCS:     p.InterBytesPerCS,
+			Events:         p.Events,
+		})
+		if progress != nil {
+			progress(fmt.Sprintf("%-22s clusters=%2d  msgs/CS=%7.2f  inter/CS=%6.2f",
+				p.System, k, p.TotalMsgsPerCS, p.InterMsgsPerCS))
+		}
+	}
+	if _, err := runCells(cells, scale.Workers, emit); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -286,17 +292,22 @@ func RunPhased(systems []System, scale Scale, progress func(string)) (*Result, e
 		return nil, fmt.Errorf("harness: RunPhased needs scale.Phases")
 	}
 	res := &Result{Systems: systems, Scale: scale}
-	for _, sys := range systems {
-		p, err := runCell(sys, scale, 0)
-		if err != nil {
-			return nil, fmt.Errorf("harness: phased %s: %w", sys.Name, err)
-		}
-		res.Points = append(res.Points, *p)
-		if progress != nil {
+	cells := make([]cell, len(systems))
+	for i, sys := range systems {
+		cells[i] = cell{sys: sys, scale: scale, rho: 0}
+	}
+	var emit func(int, *Point)
+	if progress != nil {
+		emit = func(_ int, p *Point) {
 			progress(fmt.Sprintf("%-22s obtain=%8.2fms  inter/CS=%6.2f  switches=%d",
-				sys.Name, p.Obtaining.Mean, p.InterMsgsPerCS, p.Switches))
+				p.System, p.Obtaining.Mean, p.InterMsgsPerCS, p.Switches))
 		}
 	}
+	points, err := runCells(cells, scale.Workers, emit)
+	if err != nil {
+		return nil, err
+	}
+	res.Points = points
 	return res, nil
 }
 

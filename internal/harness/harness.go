@@ -8,7 +8,7 @@ package harness
 
 import (
 	"fmt"
-	"sort"
+	"math"
 	"time"
 
 	"gridmutex/internal/adaptive"
@@ -16,6 +16,7 @@ import (
 	"gridmutex/internal/check"
 	"gridmutex/internal/core"
 	"gridmutex/internal/des"
+	"gridmutex/internal/fleet"
 	"gridmutex/internal/mutex"
 	"gridmutex/internal/reliable"
 	"gridmutex/internal/simnet"
@@ -138,6 +139,33 @@ type Scale struct {
 	// many events to every run's fabric. The determinism regression test
 	// uses it: two runs with the same seed must dump identical traces.
 	TraceCapacity int
+	// Workers bounds how many repetitions run concurrently, each on its
+	// own private Simulator (the goroutine fan-out lives in
+	// internal/fleet; this package stays goroutine-free). 0 or 1 keeps
+	// every run on the calling goroutine; negative means GOMAXPROCS.
+	// Aggregates are byte-identical for every setting: per-repetition
+	// partials are merged by (system, ρ, rep) index, never by completion
+	// order.
+	Workers int
+}
+
+// Validate rejects degenerate experiment dimensions. Without it,
+// Repetitions < 1 or CSPerProcess < 1 silently yield empty-but-plausible
+// points (zeroed aggregates that render like real data).
+func (s Scale) Validate() error {
+	if s.Repetitions < 1 {
+		return fmt.Errorf("harness: Repetitions %d, need at least 1", s.Repetitions)
+	}
+	if s.CSPerProcess < 1 {
+		return fmt.Errorf("harness: CSPerProcess %d, need at least 1", s.CSPerProcess)
+	}
+	if s.AppsPerCluster < 1 {
+		return fmt.Errorf("harness: AppsPerCluster %d, need at least 1", s.AppsPerCluster)
+	}
+	if s.CustomMatrix == nil && s.Clusters < 1 {
+		return fmt.Errorf("harness: Clusters %d, need at least 1", s.Clusters)
+	}
+	return nil
 }
 
 // N returns the total number of application processes.
@@ -218,6 +246,9 @@ type Point struct {
 	// mean obtaining time, computed over the per-repetition means (0
 	// with fewer than 2 repetitions).
 	CIHalf float64
+	// Events counts DES events processed across the cell's repetitions —
+	// the simulator-throughput denominator benchmark records report.
+	Events int64
 }
 
 // Result is a full experiment: one Point per (system, ρ).
@@ -238,83 +269,168 @@ func (r *Result) Point(system string, rho float64) *Point {
 }
 
 // Run executes the experiment: every system at every ρ, Repetitions times
-// each. Progress, when non-nil, receives a line per completed cell.
+// each, fanning repetitions out across Scale.Workers goroutines (each on
+// its own Simulator). Progress, when non-nil, receives a line per
+// completed cell. Results are independent of Workers.
 func Run(systems []System, scale Scale, progress func(string)) (*Result, error) {
 	res := &Result{Systems: systems, Scale: scale}
+	cells := make([]cell, 0, len(systems)*len(scale.Rhos))
 	for _, sys := range systems {
 		for _, rho := range scale.Rhos {
-			p, err := runCell(sys, scale, rho)
-			if err != nil {
-				return nil, fmt.Errorf("harness: %s at rho=%g: %w", sys.Name, rho, err)
-			}
-			res.Points = append(res.Points, *p)
-			if progress != nil {
-				progress(fmt.Sprintf("%-22s rho=%6.0f  obtain=%8.2fms  inter/CS=%6.2f",
-					sys.Name, rho, p.Obtaining.Mean, p.InterMsgsPerCS))
-			}
+			cells = append(cells, cell{sys: sys, scale: scale, rho: rho})
 		}
 	}
+	var emit func(int, *Point)
+	if progress != nil {
+		emit = func(_ int, p *Point) {
+			progress(fmt.Sprintf("%-22s rho=%6.0f  obtain=%8.2fms  inter/CS=%6.2f",
+				p.System, p.Rho, p.Obtaining.Mean, p.InterMsgsPerCS))
+		}
+	}
+	points, err := runCells(cells, scale.Workers, emit)
+	if err != nil {
+		return nil, err
+	}
+	res.Points = points
 	return res, nil
 }
 
-func runCell(sys System, scale Scale, rho float64) (*Point, error) {
-	var obtain stats.Accumulator
-	phaseObtain := make([]stats.Accumulator, len(scale.Phases))
-	var perCluster []stats.Accumulator
-	var repMeans []float64
-	perProc := make(map[mutex.ID]*stats.Accumulator)
-	var interMsgs, intraMsgs, totalMsgs, interBytes, grants, switches int64
+// splitmix64 is the finalizer of Steele et al.'s SplitMix64 generator: a
+// bijective avalanche mix in which every input bit affects every output
+// bit.
+func splitmix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// deriveSeed mixes (BaseSeed, ρ, rep) into one run seed. ρ enters through
+// its IEEE-754 bit pattern, so arbitrarily close fractional sweep values
+// draw distinct streams (the previous int64(rho*7919) truncation collided
+// for ρ closer than 1/7919), and each component passes through the
+// splitmix64 finalizer so additive rep/ρ strides cannot alias across
+// cells. The seed deliberately ignores the system under test: every
+// system replays the same random streams per (ρ, rep) — common random
+// numbers — which is what keeps cross-system curve differences paired.
+func deriveSeed(base int64, rho float64, rep int) int64 {
+	z := splitmix64(uint64(base) + 0x9e3779b97f4a7c15)
+	z = splitmix64(z ^ math.Float64bits(rho))
+	z = splitmix64(z ^ uint64(rep))
+	return int64(z)
+}
+
+// cell is one (system, scale, ρ) experiment cell; Repetitions seeded runs
+// aggregate into one Point. Each cell carries its own Scale because some
+// experiments (scalability) vary dimensions per cell.
+type cell struct {
+	sys   System
+	scale Scale
+	rho   float64
+}
+
+// repPartial is the digest one repetition contributes to its cell:
+// accumulators and counters, never raw records, so a parallel run buffers
+// bounded state per repetition. Only obtain retains samples — they feed
+// the cell's percentiles; every other accumulator stays compact.
+type repPartial struct {
+	obtain     stats.Accumulator
+	phase      []stats.Accumulator
+	perProc    []stats.Accumulator // indexed by process ID (dense)
+	perCluster []stats.Accumulator
+	counters   simnet.Counters
+	grants     int64
+	events     int64
+	switches   int64
+	handoffs   int64
+	biasRounds int64
+}
+
+// digest folds one run's records into a repPartial. It walks records in
+// grant order, which the single-threaded simulation makes deterministic.
+func digest(scale Scale, out outcome) repPartial {
+	p := repPartial{
+		counters:   out.counters,
+		grants:     int64(len(out.records)),
+		events:     int64(out.events),
+		switches:   out.switches,
+		handoffs:   out.handoffs,
+		biasRounds: out.biasRounds,
+	}
+	p.obtain.Retain = true
+	p.phase = make([]stats.Accumulator, len(scale.Phases))
+	for _, r := range out.records {
+		ms := float64(r.Obtaining()) / float64(time.Millisecond)
+		p.obtain.Push(ms)
+		if len(scale.Phases) > 0 {
+			p.phase[phaseOf(scale.Phases, r.AcquiredAt)].Push(ms)
+		}
+		for int(r.ID) >= len(p.perProc) {
+			p.perProc = append(p.perProc, stats.Accumulator{})
+		}
+		p.perProc[r.ID].Push(ms)
+		for r.Cluster >= len(p.perCluster) {
+			p.perCluster = append(p.perCluster, stats.Accumulator{})
+		}
+		p.perCluster[r.Cluster].Push(ms)
+	}
+	return p
+}
+
+// mergeCell folds one cell's per-repetition partials into its Point,
+// always in repetition order — never completion order — which is what
+// makes serial and parallel runs byte-identical.
+func mergeCell(c cell, partials []repPartial) (*Point, error) {
+	obtain := stats.Accumulator{Retain: true}
+	phase := make([]stats.Accumulator, len(c.scale.Phases))
+	var perProc, perCluster []stats.Accumulator
+	repMeans := make([]float64, 0, len(partials))
+	var interMsgs, intraMsgs, totalMsgs, interBytes, grants, events, switches int64
 	var handoffs, biasRounds int64
-	for rep := 0; rep < scale.Repetitions; rep++ {
-		seed := scale.BaseSeed + int64(rep)*1_000_003 + int64(rho*7919)
-		out, err := runOnce(sys, scale, rho, seed)
-		if err != nil {
-			return nil, fmt.Errorf("repetition %d: %w", rep, err)
+	for rep := range partials {
+		part := &partials[rep]
+		if part.grants == 0 {
+			return nil, fmt.Errorf("repetition %d produced no grants", rep)
 		}
-		var repObtain stats.Accumulator
-		repObtain.Compact = true
-		for _, r := range out.records {
-			ms := float64(r.Obtaining()) / float64(time.Millisecond)
-			obtain.Push(ms)
-			repObtain.Push(ms)
-			if len(scale.Phases) > 0 {
-				phaseObtain[phaseOf(scale.Phases, r.AcquiredAt)].Push(ms)
-			}
-			pp := perProc[r.ID]
-			if pp == nil {
-				pp = &stats.Accumulator{Compact: true}
-				perProc[r.ID] = pp
-			}
-			pp.Push(ms)
-			for r.Cluster >= len(perCluster) {
-				perCluster = append(perCluster, stats.Accumulator{Compact: true})
-			}
-			perCluster[r.Cluster].Push(ms)
+		obtain.Merge(&part.obtain)
+		for i := range part.phase {
+			phase[i].Merge(&part.phase[i])
 		}
-		repMeans = append(repMeans, repObtain.Mean())
-		grants += int64(len(out.records))
-		interMsgs += out.counters.InterMessages
-		intraMsgs += out.counters.IntraMessages
-		totalMsgs += out.counters.Messages
-		interBytes += out.counters.InterBytes
-		switches += out.switches
-		handoffs += out.handoffs
-		biasRounds += out.biasRounds
+		for len(perProc) < len(part.perProc) {
+			perProc = append(perProc, stats.Accumulator{})
+		}
+		for i := range part.perProc {
+			perProc[i].Merge(&part.perProc[i])
+		}
+		for len(perCluster) < len(part.perCluster) {
+			perCluster = append(perCluster, stats.Accumulator{})
+		}
+		for i := range part.perCluster {
+			perCluster[i].Merge(&part.perCluster[i])
+		}
+		repMeans = append(repMeans, part.obtain.Mean())
+		grants += part.grants
+		events += part.events
+		interMsgs += part.counters.InterMessages
+		intraMsgs += part.counters.IntraMessages
+		totalMsgs += part.counters.Messages
+		interBytes += part.counters.InterBytes
+		switches += part.switches
+		handoffs += part.handoffs
+		biasRounds += part.biasRounds
 	}
-	p := &Point{System: sys.Name, Rho: rho, Obtaining: obtain.Summarize(), Grants: grants, Switches: switches}
-	for i := range phaseObtain {
-		p.PhaseObtaining = append(p.PhaseObtaining, phaseObtain[i].Summarize())
+	p := &Point{System: c.sys.Name, Rho: c.rho, Obtaining: obtain.Summarize(),
+		Grants: grants, Switches: switches, Events: events}
+	for i := range phase {
+		p.PhaseObtaining = append(p.PhaseObtaining, phase[i].Summarize())
 	}
-	// Walk processes in ID order: float summation inside JainIndex is not
-	// associative, so map order would perturb the fairness digit.
-	ids := make([]mutex.ID, 0, len(perProc))
-	for id := range perProc {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	means := make([]float64, 0, len(ids))
-	for _, id := range ids {
-		means = append(means, perProc[id].Mean())
+	// Walk processes in ID (slice index) order: float summation inside
+	// JainIndex is not associative, so any other order would perturb the
+	// fairness digit.
+	means := make([]float64, 0, len(perProc))
+	for i := range perProc {
+		if perProc[i].N() > 0 {
+			means = append(means, perProc[i].Mean())
+		}
 	}
 	p.Fairness = stats.JainIndex(means)
 	p.Handoffs = handoffs
@@ -331,6 +447,88 @@ func runCell(sys System, scale Scale, rho float64) (*Point, error) {
 		p.InterBytesPerCS = float64(interBytes) / g
 	}
 	return p, nil
+}
+
+// runCells executes every (cell, repetition) simulation and merges the
+// partials by (cell, rep) index. workers 0 or 1 keeps everything on the
+// calling goroutine (zero goroutines on the per-run path); otherwise the
+// fan-out happens in internal/fleet, one job per repetition, each on a
+// private Simulator. emit, when non-nil, receives each merged Point in
+// cell order.
+func runCells(cells []cell, workers int, emit func(i int, p *Point)) ([]Point, error) {
+	for i := range cells {
+		if err := cells[i].scale.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	type job struct{ cell, rep int }
+	var jobs []job
+	for ci := range cells {
+		for rep := 0; rep < cells[ci].scale.Repetitions; rep++ {
+			jobs = append(jobs, job{ci, rep})
+		}
+	}
+	runJob := func(j job) (repPartial, error) {
+		c := cells[j.cell]
+		out, err := runOnce(c.sys, c.scale, c.rho, deriveSeed(c.scale.BaseSeed, c.rho, j.rep))
+		if err != nil {
+			return repPartial{}, fmt.Errorf("harness: %s at rho=%g: repetition %d: %w",
+				c.sys.Name, c.rho, j.rep, err)
+		}
+		return digest(c.scale, out), nil
+	}
+	merge := func(ci int, partials []repPartial) (*Point, error) {
+		p, err := mergeCell(cells[ci], partials)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s at rho=%g: %w", cells[ci].sys.Name, cells[ci].rho, err)
+		}
+		if emit != nil {
+			emit(ci, p)
+		}
+		return p, nil
+	}
+
+	points := make([]Point, 0, len(cells))
+	if workers < 0 || workers > 1 {
+		partials, err := fleet.Map(len(jobs), workers, func(i int) (repPartial, error) {
+			return runJob(jobs[i])
+		})
+		if err != nil {
+			return nil, err
+		}
+		next := 0
+		for ci := range cells {
+			reps := cells[ci].scale.Repetitions
+			p, err := merge(ci, partials[next:next+reps])
+			if err != nil {
+				return nil, err
+			}
+			next += reps
+			points = append(points, *p)
+		}
+		return points, nil
+	}
+	// Serial path: run and merge cell by cell so progress streams as the
+	// experiment advances, exactly as before.
+	ji := 0
+	for ci := range cells {
+		reps := cells[ci].scale.Repetitions
+		partials := make([]repPartial, reps)
+		for r := 0; r < reps; r++ {
+			part, err := runJob(jobs[ji])
+			if err != nil {
+				return nil, err
+			}
+			partials[r] = part
+			ji++
+		}
+		p, err := merge(ci, partials)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, *p)
+	}
+	return points, nil
 }
 
 // grid builds the run topology: composed deployments reserve one extra
@@ -369,6 +567,8 @@ type outcome struct {
 	switches int64
 	// handoffs and biasRounds aggregate coordinator stats.
 	handoffs, biasRounds int64
+	// events is the number of DES events the run processed.
+	events uint64
 	// traceDump is the rendered event trace (Scale.TraceCapacity > 0 only).
 	traceDump string
 }
@@ -449,7 +649,8 @@ func runOnce(sys System, scale Scale, rho float64, seed int64) (outcome, error) 
 	if !runner.Done() {
 		return outcome{}, fmt.Errorf("liveness: %d requests unsatisfied", runner.Outstanding())
 	}
-	out := outcome{records: runner.Records(), counters: net.Counters(), traceDump: tr.Dump()}
+	out := outcome{records: runner.Records(), counters: net.Counters(),
+		events: sim.Processed(), traceDump: tr.Dump()}
 	for _, c := range d.Coordinators {
 		out.handoffs += c.Stats().InterHandoffs
 		out.biasRounds += c.Stats().BiasRounds

@@ -1,0 +1,155 @@
+package harness
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// parallelScale is a small grid (2 systems x 3 rhos x 2 reps = 12 runs)
+// so the equivalence tests stay fast under -race.
+func parallelScale() Scale {
+	s := QuickScale()
+	s.Rhos = []float64{6, 24, 72}
+	return s
+}
+
+func parallelSystems() []System {
+	return []System{Flat("naimi"), Composed("naimi", "suzuki")}
+}
+
+// TestParallelMatchesSerial is the core equivalence property: a parallel
+// run must be byte-identical to a serial one — same Points (every float,
+// bit for bit), same rendered tables, same progress lines in the same
+// order. More jobs than workers (12 runs on 3 workers) exercises the
+// queue/claim path.
+func TestParallelMatchesSerial(t *testing.T) {
+	runWith := func(workers int) (*Result, []string) {
+		s := parallelScale()
+		s.Workers = workers
+		var lines []string
+		res, err := Run(parallelSystems(), s, func(l string) { lines = append(lines, l) })
+		if err != nil {
+			t.Fatalf("Run with %d workers failed: %v", workers, err)
+		}
+		return res, lines
+	}
+	serial, serialLines := runWith(1)
+	for _, workers := range []int{3, -1} {
+		par, parLines := runWith(workers)
+		if !reflect.DeepEqual(serial.Points, par.Points) {
+			t.Errorf("workers=%d: Points differ from serial", workers)
+		}
+		for _, m := range []Metric{ObtainingMean, ObtainingStd, InterMsgs, Fairness} {
+			st, pt := serial.Table(m, "t"), par.Table(m, "t")
+			if st != pt {
+				t.Errorf("workers=%d: %v table differs:\nserial:\n%s\nparallel:\n%s", workers, m, st, pt)
+			}
+		}
+		if !reflect.DeepEqual(serialLines, parLines) {
+			t.Errorf("workers=%d: progress lines differ:\nserial:   %q\nparallel: %q",
+				workers, serialLines, parLines)
+		}
+	}
+}
+
+// TestParallelScalabilityMatchesSerial covers the second cell builder:
+// scalability cells vary the Scale per cell, so the index→cluster mapping
+// must survive the fan-out.
+func TestParallelScalabilityMatchesSerial(t *testing.T) {
+	runWith := func(workers int) *ScalabilityResult {
+		s := parallelScale()
+		s.Workers = workers
+		res, err := RunScalability([]System{Flat("naimi"), Composed("naimi", "naimi")}, s, []int{2, 3}, nil)
+		if err != nil {
+			t.Fatalf("RunScalability with %d workers failed: %v", workers, err)
+		}
+		return res
+	}
+	serial, par := runWith(1), runWith(4)
+	if !reflect.DeepEqual(serial.Points, par.Points) {
+		t.Fatal("parallel scalability points differ from serial")
+	}
+	if serial.Table("t") != par.Table("t") {
+		t.Fatal("parallel scalability table differs from serial")
+	}
+}
+
+// TestParallelErrorMatchesSerial: when a cell fails, the parallel run must
+// report the same error a serial run would — the lowest (cell, rep) index
+// failure, identically wrapped.
+func TestParallelErrorMatchesSerial(t *testing.T) {
+	runWith := func(workers int) error {
+		s := parallelScale()
+		s.Workers = workers
+		_, err := Run([]System{Flat("naimi"), Flat("no-such-algorithm")}, s, nil)
+		return err
+	}
+	serialErr, parErr := runWith(1), runWith(4)
+	if serialErr == nil || parErr == nil {
+		t.Fatalf("expected both paths to fail: serial=%v parallel=%v", serialErr, parErr)
+	}
+	if serialErr.Error() != parErr.Error() {
+		t.Fatalf("error strings differ:\nserial:   %v\nparallel: %v", serialErr, parErr)
+	}
+}
+
+// TestDeriveSeedNoCollisions sweeps a dense fractional ρ grid — closer
+// together than the old int64(rho*7919) truncation could distinguish —
+// crossed with repetitions, and requires every seed to be distinct.
+func TestDeriveSeedNoCollisions(t *testing.T) {
+	seen := make(map[int64]string)
+	for i := 0; i < 2000; i++ {
+		rho := 1 + float64(i)*1e-4
+		for rep := 0; rep < 5; rep++ {
+			seed := deriveSeed(1, rho, rep)
+			key := fmt.Sprintf("rho=%v rep=%d", rho, rep)
+			if prev, dup := seen[seed]; dup {
+				t.Fatalf("seed collision: %s and %s both derive %d", prev, key, seed)
+			}
+			seen[seed] = key
+		}
+	}
+}
+
+// TestDeriveSeedIgnoresSystem documents the common-random-numbers pairing:
+// the seed depends only on (base, ρ, rep), so every system replays the
+// same arrival streams — and changing any one input changes the seed.
+func TestDeriveSeedIgnoresSystem(t *testing.T) {
+	base := deriveSeed(1, 90, 0)
+	if deriveSeed(1, 90, 0) != base {
+		t.Fatal("deriveSeed is not deterministic")
+	}
+	if deriveSeed(2, 90, 0) == base || deriveSeed(1, 91, 0) == base || deriveSeed(1, 90, 1) == base {
+		t.Fatal("changing base, rho or rep did not change the seed")
+	}
+}
+
+// TestScaleValidate covers the up-front dimension checks.
+func TestScaleValidate(t *testing.T) {
+	if err := QuickScale().Validate(); err != nil {
+		t.Fatalf("QuickScale should validate: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Scale)
+		want   string
+	}{
+		{"repetitions", func(s *Scale) { s.Repetitions = 0 }, "Repetitions"},
+		{"cs-per-process", func(s *Scale) { s.CSPerProcess = -1 }, "CSPerProcess"},
+		{"apps-per-cluster", func(s *Scale) { s.AppsPerCluster = 0 }, "AppsPerCluster"},
+		{"clusters", func(s *Scale) { s.Clusters = 0 }, "Clusters"},
+	}
+	for _, c := range cases {
+		s := QuickScale()
+		c.mutate(&s)
+		err := s.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: Validate() = %v, want error naming %s", c.name, err, c.want)
+		}
+		if _, runErr := Run(parallelSystems(), s, nil); runErr == nil {
+			t.Errorf("%s: Run accepted an invalid scale", c.name)
+		}
+	}
+}

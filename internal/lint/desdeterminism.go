@@ -20,6 +20,13 @@ var DESDeterminism = &Analyzer{
 	Name: "desdeterminism",
 	Doc: "forbid wall-clock time, global math/rand, goroutines, select, and " +
 		"order-dependent map iteration in DES-driven packages",
+	// internal/fleet is deliberately absent: it is the one goroutine
+	// island in the simulation stack — the worker pool the harness fans
+	// repetitions out on. Its jobs are pure functions of their seeds, each
+	// on a private Simulator, and its results are merged by job index, so
+	// scheduler nondeterminism cannot reach any aggregate (DESIGN.md §8).
+	// Everything the DES drives, including the harness that calls fleet,
+	// stays on this list.
 	AppliesTo: anyUnder(
 		"internal/des",
 		"internal/simnet",

@@ -24,6 +24,9 @@ var LockDiscipline = &Analyzer{
 	AppliesTo: anyUnder(
 		"internal/livenet",
 		"internal/reliable",
+		// fleet is exempt from desdeterminism (it IS the goroutine pool),
+		// so it gets the concurrent-code discipline checks instead.
+		"internal/fleet",
 	),
 	Run: runLockDiscipline,
 }

@@ -10,18 +10,24 @@ import (
 )
 
 // Accumulator aggregates samples with Welford's online algorithm, so
-// million-sample runs need no buffering; Push also retains samples for
-// percentile queries unless Compact is set.
+// million-sample runs need no buffering. By default individual samples
+// are discarded (compact mode); set Retain to keep them for percentile
+// queries — only the accumulators that actually serve percentiles should
+// pay that memory.
 type Accumulator struct {
-	// Compact discards individual samples (percentiles unavailable).
-	Compact bool
+	// Retain keeps every pushed sample so Percentile works. The zero
+	// value is compact: constant memory, no percentiles.
+	Retain bool
 
-	n            int64
-	mean, m2     float64
-	min, max     float64
-	samples      []float64
-	sortedDirty  bool
-	sortedSample []float64
+	n        int64
+	mean, m2 float64
+	min, max float64
+	// samples holds the retained values. Percentile sorts this slice in
+	// place (ordering is irrelevant to the moment statistics), so there
+	// is exactly one copy of the data; sorted tracks whether the last
+	// Push or Merge invalidated that order.
+	samples []float64
+	sorted  bool
 }
 
 // Push adds one sample.
@@ -40,9 +46,9 @@ func (a *Accumulator) Push(x float64) {
 	delta := x - a.mean
 	a.mean += delta / float64(a.n)
 	a.m2 += delta * (x - a.mean)
-	if !a.Compact {
+	if a.Retain {
 		a.samples = append(a.samples, x)
-		a.sortedDirty = true
+		a.sorted = false
 	}
 }
 
@@ -79,10 +85,12 @@ func (a *Accumulator) Min() float64 { return a.min }
 func (a *Accumulator) Max() float64 { return a.max }
 
 // Percentile returns the p-quantile (0 <= p <= 1) by linear interpolation;
-// it panics if sample retention was disabled or p is out of range.
+// it panics if sample retention was not enabled or p is out of range. The
+// first query after new data sorts the retained samples in place; further
+// queries reuse that order.
 func (a *Accumulator) Percentile(p float64) float64 {
-	if a.Compact {
-		panic("stats: percentiles unavailable in compact mode")
+	if !a.Retain {
+		panic("stats: percentiles unavailable without Retain")
 	}
 	if p < 0 || p > 1 {
 		panic(fmt.Sprintf("stats: percentile %v out of [0,1]", p))
@@ -90,12 +98,11 @@ func (a *Accumulator) Percentile(p float64) float64 {
 	if a.n == 0 {
 		return 0
 	}
-	if a.sortedDirty {
-		a.sortedSample = append(a.sortedSample[:0], a.samples...)
-		sort.Float64s(a.sortedSample)
-		a.sortedDirty = false
+	if !a.sorted {
+		sort.Float64s(a.samples)
+		a.sorted = true
 	}
-	s := a.sortedSample
+	s := a.samples
 	if len(s) == 1 {
 		return s[0]
 	}
@@ -118,13 +125,14 @@ type Summary struct {
 	PercentilesComputed bool
 }
 
-// Summarize snapshots the accumulator.
+// Summarize snapshots the accumulator. With retention enabled it sorts
+// the samples (at most once — see Percentile) and fills in P50/P95/P99.
 func (a *Accumulator) Summarize() Summary {
 	s := Summary{
 		N: a.n, Mean: a.Mean(), Std: a.Std(), RelStd: a.RelStd(),
 		Min: a.min, Max: a.max,
 	}
-	if !a.Compact && a.n > 0 {
+	if a.Retain && a.n > 0 {
 		s.P50 = a.Percentile(0.50)
 		s.P95 = a.Percentile(0.95)
 		s.P99 = a.Percentile(0.99)
@@ -133,17 +141,24 @@ func (a *Accumulator) Summarize() Summary {
 	return s
 }
 
-// Merge folds other into a (Chan et al. parallel variance update). Sample
-// retention follows both accumulators' Compact flags.
+// Merge folds other into a (Chan et al. parallel variance update). Samples
+// are kept only when both sides retain them; merging a compact accumulator
+// into a retaining one drops retention, since the combined sample set
+// would be incomplete.
 func (a *Accumulator) Merge(other *Accumulator) {
 	if other.n == 0 {
 		return
 	}
 	if a.n == 0 {
+		retain := a.Retain && other.Retain
 		*a = *other
-		a.samples = append([]float64(nil), other.samples...)
-		a.sortedDirty = true
-		a.sortedSample = nil
+		a.Retain = retain
+		if retain {
+			a.samples = append([]float64(nil), other.samples...)
+			a.sorted = false
+		} else {
+			a.samples = nil
+		}
 		return
 	}
 	na, nb := float64(a.n), float64(other.n)
@@ -158,13 +173,12 @@ func (a *Accumulator) Merge(other *Accumulator) {
 	if other.max > a.max {
 		a.max = other.max
 	}
-	if !a.Compact && !other.Compact {
+	if a.Retain && other.Retain {
 		a.samples = append(a.samples, other.samples...)
-		a.sortedDirty = true
+		a.sorted = false
 	} else {
-		a.Compact = true
+		a.Retain = false
 		a.samples = nil
-		a.sortedSample = nil
 	}
 }
 
@@ -202,7 +216,6 @@ func CI95Half(xs []float64) float64 {
 		return 0
 	}
 	var a Accumulator
-	a.Compact = true
 	for _, x := range xs {
 		a.Push(x)
 	}

@@ -18,6 +18,10 @@ func TestEmptyAccumulator(t *testing.T) {
 	if s.N != 0 || s.PercentilesComputed {
 		t.Fatalf("empty summary: %+v", s)
 	}
+	e := Accumulator{Retain: true}
+	if s := e.Summarize(); s.PercentilesComputed {
+		t.Fatalf("empty retaining summary claims percentiles: %+v", s)
+	}
 }
 
 func TestKnownValues(t *testing.T) {
@@ -44,7 +48,7 @@ func TestKnownValues(t *testing.T) {
 }
 
 func TestSingleSample(t *testing.T) {
-	var a Accumulator
+	a := Accumulator{Retain: true}
 	a.Push(42)
 	if a.Std() != 0 {
 		t.Errorf("Std of one sample = %v", a.Std())
@@ -55,7 +59,7 @@ func TestSingleSample(t *testing.T) {
 }
 
 func TestPercentiles(t *testing.T) {
-	var a Accumulator
+	a := Accumulator{Retain: true}
 	for i := 1; i <= 100; i++ {
 		a.Push(float64(i))
 	}
@@ -74,7 +78,7 @@ func TestPercentiles(t *testing.T) {
 }
 
 func TestPercentileUnsortedInput(t *testing.T) {
-	var a Accumulator
+	a := Accumulator{Retain: true}
 	for _, x := range []float64{9, 1, 5, 3, 7} {
 		a.Push(x)
 	}
@@ -88,13 +92,21 @@ func TestPercentileUnsortedInput(t *testing.T) {
 	}
 }
 
-func TestCompactMode(t *testing.T) {
-	a := Accumulator{Compact: true}
+// TestCompactByDefault: the zero-value accumulator retains nothing —
+// constant memory — and refuses percentile queries.
+func TestCompactByDefault(t *testing.T) {
+	var a Accumulator
 	for i := 0; i < 1000; i++ {
 		a.Push(float64(i))
 	}
 	if !almostEqual(a.Mean(), 499.5, 1e-9) {
 		t.Errorf("Mean = %v", a.Mean())
+	}
+	if a.samples != nil {
+		t.Errorf("compact accumulator retained %d samples", len(a.samples))
+	}
+	if s := a.Summarize(); s.PercentilesComputed {
+		t.Errorf("compact summary claims percentiles: %+v", s)
 	}
 	defer func() {
 		if recover() == nil {
@@ -105,7 +117,7 @@ func TestCompactMode(t *testing.T) {
 }
 
 func TestPercentileRangePanics(t *testing.T) {
-	var a Accumulator
+	a := Accumulator{Retain: true}
 	a.Push(1)
 	for _, p := range []float64{-0.1, 1.1} {
 		func() {
@@ -120,7 +132,7 @@ func TestPercentileRangePanics(t *testing.T) {
 }
 
 func TestSummarize(t *testing.T) {
-	var a Accumulator
+	a := Accumulator{Retain: true}
 	for i := 1; i <= 10; i++ {
 		a.Push(float64(i))
 	}
@@ -134,7 +146,9 @@ func TestSummarize(t *testing.T) {
 }
 
 func TestMerge(t *testing.T) {
-	var a, b, all Accumulator
+	a := Accumulator{Retain: true}
+	b := Accumulator{Retain: true}
+	all := Accumulator{Retain: true}
 	rng := rand.New(rand.NewSource(5))
 	for i := 0; i < 500; i++ {
 		x := rng.NormFloat64()*3 + 10
@@ -182,13 +196,45 @@ func TestMergeEmptyCases(t *testing.T) {
 }
 
 func TestMergeCompactPoisons(t *testing.T) {
-	var a Accumulator
+	a := Accumulator{Retain: true}
 	a.Push(1)
-	b := Accumulator{Compact: true}
+	var b Accumulator
 	b.Push(2)
 	a.Merge(&b)
-	if !a.Compact {
-		t.Fatal("merge with compact side should go compact")
+	if a.Retain || a.samples != nil {
+		t.Fatal("merge with a compact side should drop retention")
+	}
+	// Merging a retaining accumulator into an empty compact one must not
+	// resurrect retention either: the empty side never retained.
+	var c Accumulator
+	d := Accumulator{Retain: true}
+	d.Push(3)
+	c.Merge(&d)
+	if c.Retain || c.samples != nil {
+		t.Fatal("merge into empty compact accumulator kept samples")
+	}
+	if c.N() != 1 || c.Mean() != 3 {
+		t.Fatalf("merge into empty compact accumulator lost moments: n=%d mean=%v", c.N(), c.Mean())
+	}
+}
+
+// TestMergePreservesSourceSamples: Merge must copy, not alias, the other
+// side's samples when folding into an empty accumulator, and must leave
+// the source usable.
+func TestMergePreservesSourceSamples(t *testing.T) {
+	a := Accumulator{Retain: true}
+	b := Accumulator{Retain: true}
+	for _, x := range []float64{3, 1, 2} {
+		b.Push(x)
+	}
+	a.Merge(&b)
+	if got := a.Percentile(0.5); got != 2 {
+		t.Fatalf("merged median = %v", got)
+	}
+	// Sorting a's samples during the percentile query must not reorder
+	// b's retained slice.
+	if b.samples[0] != 3 || b.samples[1] != 1 || b.samples[2] != 2 {
+		t.Fatalf("merge aliased source samples: %v", b.samples)
 	}
 }
 

@@ -18,6 +18,12 @@ go test -race ./...
 echo "==> bounded schedule exploration (GRIDMUTEX_EXPLORE_LONG=1 for exhaustive)"
 go test -race -run 'TestExplore' ./internal/explore/ ./internal/algorithms/ ./internal/core/
 
+echo "==> parallel harness equivalence under -race"
+go test -race -run 'TestParallel|TestMap' ./internal/harness/ ./internal/fleet/
+
+echo "==> benchmark record (BENCH_3.json): parallel vs serial figure regeneration"
+go run ./cmd/gridbench -experiment fig4a -scale quick -parallel 4 -json BENCH_3.json -q >/dev/null
+
 echo "==> fuzz targets, 10s each"
 go test -fuzz=FuzzDecode -fuzztime=10s -run '^$' ./internal/livenet/wire
 go test -fuzz=FuzzLoad -fuzztime=10s -run '^$' ./internal/topology
