@@ -11,6 +11,7 @@
 //	fig6b  intra algorithm choice: standard deviation
 //	scale  section 4.7 scalability discussion
 //	adaptive  section 6 future work: adaptive inter algorithm
+//	recovery  robustness extension: token regeneration vs heartbeat period
 //
 // Usage:
 //

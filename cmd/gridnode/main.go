@@ -3,6 +3,11 @@
 // implementation — and drives a lock/unlock workload through it, printing
 // per-process grant counts and latency percentiles.
 //
+// SIGINT or SIGTERM shuts down gracefully: no new critical sections are
+// admitted, in-flight lock requests drain to completion, sockets close
+// cleanly, and partial results are reported. A second signal forces an
+// immediate exit.
+//
 // Example:
 //
 //	gridnode -clusters 3 -apps 4 -intra naimi -inter suzuki -cs 50
@@ -13,8 +18,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"sync"
+	"syscall"
 	"time"
 
 	"gridmutex"
@@ -45,14 +52,30 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gridnode:", err)
 		os.Exit(1)
 	}
-	defer g.Close()
 
 	fmt.Printf("gridnode: %d clusters x %d apps over UDP, %s-%s, %d CS each\n",
 		*clusters, *apps, *intra, *inter, *cs)
 
+	// Graceful shutdown: the first SIGINT/SIGTERM stops workers from
+	// admitting new critical sections; lock requests already submitted to
+	// the composition drain normally (the token keeps circulating until
+	// every queued requester has been served). A second signal aborts.
+	stop := make(chan struct{})
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigc
+		fmt.Fprintf(os.Stderr, "\ngridnode: %v: draining in-flight critical sections (signal again to force quit)\n", s)
+		close(stop)
+		s = <-sigc
+		fmt.Fprintf(os.Stderr, "gridnode: %v: forced exit\n", s)
+		os.Exit(130)
+	}()
+
 	type result struct {
 		app       int
 		latencies []time.Duration
+		err       error
 	}
 	results := make([]result, g.Apps())
 	var wg sync.WaitGroup
@@ -66,16 +89,22 @@ func main() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			lat := make([]time.Duration, 0, *cs)
+			r := result{app: i}
 			for k := 0; k < *cs; k++ {
+				select {
+				case <-stop:
+					k = *cs // stop admitting new critical sections
+					continue
+				default:
+				}
 				ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 				t0 := time.Now()
 				if err := m.Lock(ctx); err != nil {
 					cancel()
-					fmt.Fprintf(os.Stderr, "gridnode: app %d lock: %v\n", i, err)
-					os.Exit(1)
+					r.err = fmt.Errorf("lock: %w", err)
+					break
 				}
-				lat = append(lat, time.Since(t0))
+				r.latencies = append(r.latencies, time.Since(t0))
 				cancel()
 				shared++ // safe: we hold the grid-wide lock
 				if *holdUS > 0 {
@@ -84,23 +113,48 @@ func main() {
 				m.Unlock()
 			}
 			mu.Lock()
-			results[i] = result{app: i, latencies: lat}
+			results[i] = r
 			mu.Unlock()
 		}()
 	}
 	wg.Wait()
+	signal.Stop(sigc)
 	elapsed := time.Since(start)
 
+	// Sockets close before any exit below so the UDP ports free up even on
+	// the failure paths.
+	g.Close()
+
+	for _, r := range results {
+		if r.err != nil {
+			fmt.Fprintf(os.Stderr, "gridnode: app %d %v\n", r.app, r.err)
+			os.Exit(1)
+		}
+	}
+
 	total := g.Apps() * *cs
-	if shared != total {
-		fmt.Fprintf(os.Stderr, "gridnode: MUTUAL EXCLUSION VIOLATED: counter %d, want %d\n", shared, total)
+	completed := 0
+	for _, r := range results {
+		completed += len(r.latencies)
+	}
+	if shared != completed {
+		fmt.Fprintf(os.Stderr, "gridnode: MUTUAL EXCLUSION VIOLATED: counter %d, want %d\n", shared, completed)
 		os.Exit(1)
 	}
 
-	fmt.Printf("completed %d critical sections in %v (%.0f CS/s); counter verified = %d\n",
-		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds(), shared)
+	if completed < total {
+		fmt.Printf("interrupted: completed %d of %d critical sections in %v; counter verified = %d\n",
+			completed, total, elapsed.Round(time.Millisecond), shared)
+	} else {
+		fmt.Printf("completed %d critical sections in %v (%.0f CS/s); counter verified = %d\n",
+			total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds(), shared)
+	}
 	fmt.Printf("%6s %8s %12s %12s %12s\n", "app", "cluster", "p50", "p95", "max")
 	for _, r := range results {
+		if len(r.latencies) == 0 {
+			fmt.Printf("%6d %8d %12s %12s %12s\n", r.app, g.ClusterOf(r.app), "-", "-", "-")
+			continue
+		}
 		sort.Slice(r.latencies, func(a, b int) bool { return r.latencies[a] < r.latencies[b] })
 		p := func(q float64) time.Duration {
 			idx := int(q * float64(len(r.latencies)-1))

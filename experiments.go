@@ -3,6 +3,7 @@ package gridmutex
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"gridmutex/internal/harness"
 )
@@ -120,6 +121,19 @@ var figureSpecs = map[string]figureSpec{
 			}
 			return res.BiasTable("Local bias ablation"), infoOf(res.Points, scale.Repetitions), nil
 		}},
+	"recovery": {describe: "robustness extension: token regeneration latency and detector overhead vs heartbeat period",
+		run: func(scale harness.Scale, progress func(string)) (string, RunInfo, error) {
+			params, scale := recoverySweep(scale)
+			res, err := harness.RunRecovery(params, scale, progress)
+			if err != nil {
+				return "", RunInfo{}, err
+			}
+			info := RunInfo{
+				Cells: len(res.Points),
+				Runs:  len(res.Points) * scale.Repetitions,
+			}
+			return res.Table("Crash recovery"), info, nil
+		}},
 	"adaptive": {describe: "section 6 extension: adaptive inter algorithm on a phased workload",
 		run: func(scale harness.Scale, progress func(string)) (string, RunInfo, error) {
 			scale.Phases = harness.AdaptivePhases(scale)
@@ -129,6 +143,22 @@ var figureSpecs = map[string]figureSpec{
 			}
 			return res.PhasedTable("Adaptive composition"), infoOf(res.Points, scale.Repetitions), nil
 		}},
+}
+
+// recoverySweep derives the crash-recovery sweep from a figure scale: a
+// heartbeat-period axis bracketing the critical-section duration and two
+// ρ values spanning the saturated and sparse regimes.
+func recoverySweep(scale harness.Scale) (harness.RecoveryParams, harness.Scale) {
+	n := float64(scale.N())
+	scale.Rhos = []float64{n / 2, 4 * n}
+	params := harness.RecoveryParams{
+		Periods: []time.Duration{
+			scale.Alpha / 2,
+			2 * scale.Alpha,
+			8 * scale.Alpha,
+		},
+	}
+	return params, scale
 }
 
 func compositionFigure(m harness.Metric, title string) func(harness.Scale, func(string)) (string, RunInfo, error) {
@@ -229,7 +259,7 @@ func ReproduceAllWith(scale ExperimentScale, opt RunOptions, progress func(strin
 	out["fig6a"] = tableAndChart(intra, harness.ObtainingMean, "Figure 6(a)")
 	out["fig6b"] = tableAndChart(intra, harness.ObtainingStd, "Figure 6(b)")
 
-	for _, name := range []string{"scale", "adaptive", "bias", "locality"} {
+	for _, name := range []string{"scale", "adaptive", "bias", "locality", "recovery"} {
 		tab, figInfo, err := figureSpecs[name].run(s, progress)
 		if err != nil {
 			return nil, info, fmt.Errorf("gridmutex: %s experiment: %w", name, err)

@@ -22,6 +22,7 @@ type World struct {
 	inflight  []Sent
 	locals    []func()
 	log       []Sent // every send ever made, for assertions
+	down      map[mutex.ID]bool
 }
 
 // World is a mutex.Fabric, so deployment builders (core.BuildComposed and
@@ -82,6 +83,9 @@ type worldEnv struct {
 }
 
 func (e *worldEnv) Send(to mutex.ID, m mutex.Message) {
+	if e.w.down[e.self] {
+		return // a crashed process emits nothing
+	}
 	s := Sent{From: e.self, To: to, Msg: m}
 	e.w.inflight = append(e.w.inflight, s)
 	e.w.log = append(e.w.log, s)
@@ -153,7 +157,32 @@ func (w *World) DropAt(i int) {
 // PendingLocals reports how many queued local callbacks have not yet run.
 func (w *World) PendingLocals() int { return len(w.locals) }
 
+// Crash fail-stops a process: in-flight messages addressed to it are
+// purged, future sends from it are suppressed, and late deliveries to it
+// are discarded. Messages it already sent stay in flight — they are on
+// the wire, exactly as in simnet's fail-stop model — so a token emitted
+// just before the crash still arrives. There is no restart.
+func (w *World) Crash(id mutex.ID) {
+	if w.down == nil {
+		w.down = make(map[mutex.ID]bool)
+	}
+	w.down[id] = true
+	kept := w.inflight[:0]
+	for _, s := range w.inflight {
+		if s.To != id {
+			kept = append(kept, s)
+		}
+	}
+	w.inflight = kept
+}
+
+// Down reports whether a process has crashed.
+func (w *World) Down(id mutex.ID) bool { return w.down[id] }
+
 func (w *World) deliver(s Sent) {
+	if w.down[s.To] {
+		return // messages to a crashed process vanish
+	}
 	inst, ok := w.instances[s.To]
 	if !ok {
 		panic(fmt.Sprintf("algotest: message %s to unknown instance %d", s.Msg.Kind(), s.To))

@@ -35,6 +35,14 @@ type Monitor struct {
 	// memory; further violations are only counted.
 	MaxViolations int
 	suppressed    int64
+
+	// Crash-recovery accounting (see Crashed and BeginEpoch).
+	crashes    int64
+	crashExits int64
+	epochs     int64
+	crashAt    des.Time
+	crashOpen  bool
+	latencies  []time.Duration
 }
 
 // NewMonitor returns a monitor bound to the simulator's clock.
@@ -109,14 +117,61 @@ func (m *Monitor) Exits() int64 { return m.exits }
 // mutex.None.
 func (m *Monitor) InCS() mutex.ID { return m.current }
 
+// Crashed records that id fail-stopped now. If id was inside the critical
+// section the monitor vacates it: a crashed holder leaves the CS by dying,
+// and quiescence accounting tracks the missing Exit separately as a crash
+// exit. Crashed also opens a recovery-latency sample that the next
+// BeginEpoch closes.
+func (m *Monitor) Crashed(id mutex.ID) {
+	m.crashes++
+	if m.current == id {
+		m.current = mutex.None
+		m.crashExits++
+	}
+	m.crashAt = m.clock.Now()
+	m.crashOpen = true
+}
+
+// BeginEpoch records a token-regeneration epoch for the named group.
+// Safety inside the new epoch is still asserted by Enter/Exit — the crashed
+// holder was vacated by Crashed, so two live processes overlapping in the
+// CS trips the safety check exactly as without recovery; regeneration never
+// legitimizes a double token. The first epoch after a crash closes the
+// recovery-latency sample opened by Crashed.
+func (m *Monitor) BeginEpoch(group string) {
+	_ = group // groups are distinguished by the caller's tracing, not here
+	m.epochs++
+	if m.crashOpen {
+		m.latencies = append(m.latencies, time.Duration(m.clock.Now()-m.crashAt))
+		m.crashOpen = false
+	}
+}
+
+// Crashes returns how many crashes were recorded.
+func (m *Monitor) Crashes() int64 { return m.crashes }
+
+// CrashExits returns how many critical sections ended by their holder
+// crashing rather than exiting.
+func (m *Monitor) CrashExits() int64 { return m.crashExits }
+
+// Epochs returns how many token-regeneration epochs were recorded.
+func (m *Monitor) Epochs() int64 { return m.epochs }
+
+// RecoveryLatencies returns one crash-to-first-regeneration delay per
+// crash that was followed by an epoch, in crash order.
+func (m *Monitor) RecoveryLatencies() []time.Duration {
+	return append([]time.Duration(nil), m.latencies...)
+}
+
 // AssertQuiescent records a violation unless the critical section is free
-// and entries match exits — call it after a run drains.
+// and entries match exits — call it after a run drains. Critical sections
+// ended by a crash (see Crashed) count as exited: the holder left by dying.
 func (m *Monitor) AssertQuiescent() {
 	if m.current != mutex.None {
 		m.violate("quiescence: %d still in CS at %v", m.current, m.clock.Now())
 	}
-	if m.entries != m.exits {
-		m.violate("quiescence: %d entries but %d exits", m.entries, m.exits)
+	if m.entries != m.exits+m.crashExits {
+		m.violate("quiescence: %d entries but %d exits and %d crash exits", m.entries, m.exits, m.crashExits)
 	}
 }
 

@@ -159,6 +159,39 @@ func (c *Coordinator) Start(intra, inter mutex.Instance) {
 	c.intra.Request()
 }
 
+// Adopt wires a standby coordinator taking over a cluster after its
+// primary crashed. Unlike Start, the automaton may begin in a state other
+// than Booting, because the cluster's tokens are wherever crash recovery
+// left them:
+//
+//   - Booting: the standby holds (or will acquire) the intra token and the
+//     cluster does not own the global CS right — the normal boot path.
+//   - In: the intra token is out with an application process and the
+//     standby has inherited the dead primary's claim on the inter token,
+//     so the cluster still owns the global CS right.
+//
+// Other states never survive a primary crash (they are transient message
+// exchanges the recovery layer resolves into one of the two above).
+func (c *Coordinator) Adopt(intra, inter mutex.Instance, st CoordinatorState) {
+	if c.intra != nil || c.inter != nil {
+		panic(fmt.Sprintf("core: coordinator %d started twice", c.id))
+	}
+	if intra == nil || inter == nil {
+		panic(fmt.Sprintf("core: coordinator %d started with nil instance", c.id))
+	}
+	c.intra = intra
+	c.inter = inter
+	switch st {
+	case Booting:
+		c.intra.Request()
+	case In:
+		c.transition(In)
+		c.maybeReclaimIntra()
+	default:
+		panic(fmt.Sprintf("core: coordinator %d cannot adopt state %v", c.id, st))
+	}
+}
+
 // onIntraAcquire fires when the coordinator (re)gains the intra token:
 // once at boot, and afterwards whenever a WAIT_FOR_OUT reclaim completes.
 func (c *Coordinator) onIntraAcquire() {

@@ -60,16 +60,18 @@ func ExploreDFS(b Builder, opts Options) (*Result, error) {
 			return nil, err
 		}
 		res.Schedules++
-		dups, drops := o.MaxDuplicates, o.MaxDrops
+		dups, drops, crashes := o.MaxDuplicates, o.MaxDrops, o.MaxCrashes
 		useBudget := func(c Choice) {
 			switch c.Op {
 			case OpDuplicate:
 				dups--
 			case OpDrop:
 				drops--
+			case OpCrash:
+				crashes--
 			}
 		}
-		fpKey := func() string { return fmt.Sprintf("%d/%d/", dups, drops) + sys.fingerprint() }
+		fpKey := func() string { return fmt.Sprintf("%d/%d/%d/", dups, drops, crashes) + sys.fingerprint() }
 
 		var sched Schedule
 		violated, pruned := false, false
@@ -111,7 +113,7 @@ func ExploreDFS(b Builder, opts Options) (*Result, error) {
 				res.Truncated++
 				break
 			}
-			en := sys.enabled(o, dups, drops)
+			en := sys.enabled(o, dups, drops, crashes)
 			if len(en) == 0 {
 				sys.checkTerminal(o)
 				violated = !sys.mon.Ok()

@@ -47,6 +47,15 @@ type Options struct {
 	// (default 0: reliable exactly-once channels, only reordered).
 	MaxDuplicates int
 	MaxDrops      int
+	// MaxCrashes budgets fail-stop crashes of application endpoints per
+	// schedule (default 0). A crashed endpoint stops sending, its inbound
+	// messages vanish, and it never releases a critical section it holds.
+	// With crashes possible the exploration checks SAFETY ONLY: the
+	// step-bounded liveness assertion and the terminal completion checks
+	// are disabled, because losing the token to a crash legitimately
+	// stalls the survivors of a bare algorithm (recovering is
+	// internal/recovery's job, out of scope for the raw protocol model).
+	MaxCrashes int
 	// ReorderWithinLink also explores non-FIFO delivery inside one
 	// (sender, receiver) link. The mutex.Env contract promises per-link
 	// FIFO, so this is off by default; it exists to stress transports
@@ -95,6 +104,7 @@ type app struct {
 	inst      mutex.Instance
 	remaining int // requests not yet issued
 	granted   int
+	crashed   bool
 }
 
 // System is one freshly built instance of the model under exploration: a
@@ -205,7 +215,7 @@ func FlatBuilder(factory mutex.Factory, n int) Builder {
 func (s *System) waiting() int {
 	n := 0
 	for _, a := range s.apps {
-		if a.inst.State() == mutex.Req {
+		if !a.crashed && a.inst.State() == mutex.Req {
 			n++
 		}
 	}
@@ -227,6 +237,8 @@ const (
 	OpRequest Op = "request"
 	// OpRelease makes app Node leave the critical section.
 	OpRelease Op = "release"
+	// OpCrash fail-stops app Node (see Options.MaxCrashes).
+	OpCrash Op = "crash"
 )
 
 // Choice is one schedule step. Delivery choices address messages by link
@@ -243,7 +255,7 @@ type Choice struct {
 // String renders the choice for humans.
 func (c Choice) String() string {
 	switch c.Op {
-	case OpRequest, OpRelease:
+	case OpRequest, OpRelease, OpCrash:
 		return fmt.Sprintf("%s(%d)", c.Op, c.Node)
 	case OpDeliver:
 		if c.Idx != 0 {
@@ -287,9 +299,9 @@ func (s *System) links() ([]link, map[link]int) {
 }
 
 // enabled enumerates the choices available in the current state, in a
-// fixed deterministic order: deliveries, duplications, drops, releases,
-// requests.
-func (s *System) enabled(o Options, dupsLeft, dropsLeft int) []Choice {
+// fixed deterministic order: deliveries, duplications, drops, crashes,
+// releases, requests.
+func (s *System) enabled(o Options, dupsLeft, dropsLeft, crashesLeft int) []Choice {
 	var out []Choice
 	order, counts := s.links()
 	for _, l := range order {
@@ -310,13 +322,20 @@ func (s *System) enabled(o Options, dupsLeft, dropsLeft int) []Choice {
 			out = append(out, Choice{Op: OpDrop, From: l.from, To: l.to})
 		}
 	}
+	if crashesLeft > 0 {
+		for _, a := range s.apps {
+			if !a.crashed {
+				out = append(out, Choice{Op: OpCrash, Node: a.id})
+			}
+		}
+	}
 	for _, a := range s.apps {
-		if a.inst.State() == mutex.InCS {
+		if !a.crashed && a.inst.State() == mutex.InCS {
 			out = append(out, Choice{Op: OpRelease, Node: a.id})
 		}
 	}
 	for _, a := range s.apps {
-		if a.remaining > 0 && a.inst.State() == mutex.NoReq {
+		if !a.crashed && a.remaining > 0 && a.inst.State() == mutex.NoReq {
 			out = append(out, Choice{Op: OpRequest, Node: a.id})
 		}
 	}
@@ -369,7 +388,7 @@ func (s *System) apply(c Choice) (err error) {
 		}
 	case OpRequest:
 		a := s.byID[c.Node]
-		if a == nil || a.remaining <= 0 || a.inst.State() != mutex.NoReq {
+		if a == nil || a.crashed || a.remaining <= 0 || a.inst.State() != mutex.NoReq {
 			return fmt.Errorf("explore: step %d: request(%d) not enabled", s.steps, c.Node)
 		}
 		a.remaining--
@@ -377,16 +396,27 @@ func (s *System) apply(c Choice) (err error) {
 		s.World.Settle()
 	case OpRelease:
 		a := s.byID[c.Node]
-		if a == nil || a.inst.State() != mutex.InCS {
+		if a == nil || a.crashed || a.inst.State() != mutex.InCS {
 			return fmt.Errorf("explore: step %d: release(%d) not enabled", s.steps, c.Node)
 		}
 		s.mon.Exit(c.Node)
 		a.inst.Release()
 		s.World.Settle()
+	case OpCrash:
+		a := s.byID[c.Node]
+		if a == nil || a.crashed {
+			return fmt.Errorf("explore: step %d: crash(%d) not enabled", s.steps, c.Node)
+		}
+		a.crashed = true
+		a.remaining = 0
+		s.mon.Crashed(c.Node) // vacates the CS if the victim holds it
+		s.World.Crash(c.Node)
 	default:
 		return fmt.Errorf("explore: step %d: unknown op %q", s.steps, c.Op)
 	}
-	s.live.Step(s.waiting(), len(s.World.Inflight()))
+	if s.live != nil {
+		s.live.Step(s.waiting(), len(s.World.Inflight()))
+	}
 	return nil
 }
 
@@ -402,7 +432,7 @@ func (s *System) apply(c Choice) (err error) {
 func (s *System) fingerprint() string {
 	var b strings.Builder
 	for _, a := range s.apps {
-		fmt.Fprintf(&b, "%d:%d%t%t:%d:%d;", a.id, a.inst.State(), a.inst.HoldsToken(), a.inst.HasPending(), a.remaining, a.granted)
+		fmt.Fprintf(&b, "%d:%d%t%t%t:%d:%d;", a.id, a.inst.State(), a.inst.HoldsToken(), a.inst.HasPending(), a.crashed, a.remaining, a.granted)
 	}
 	for _, p := range s.probes {
 		b.WriteString(p())
@@ -432,8 +462,15 @@ func (s *System) fingerprint() string {
 // checkTerminal runs the quiescence assertions once no choice is enabled:
 // nothing may remain requested or in the critical section, every budgeted
 // request must have been issued and granted, entries must match exits, and
-// optionally exactly WantTokenHolders apps hold a token.
+// optionally exactly WantTokenHolders apps hold a token. With a crash
+// budget the exploration is safety-only: completion checks would flag the
+// legitimate stall of survivors waiting on a token that died with its
+// holder, so only the monitor's own quiescence accounting runs.
 func (s *System) checkTerminal(o Options) {
+	if o.MaxCrashes > 0 {
+		s.mon.AssertQuiescent()
+		return
+	}
 	for _, a := range s.apps {
 		if st := a.inst.State(); st != mutex.NoReq {
 			s.mon.Reportf("terminal: app %d stuck in state %v at step %d", a.id, st, s.steps)
@@ -468,7 +505,11 @@ func (s *System) start(o Options) error {
 	for _, a := range s.apps {
 		a.remaining = o.RequestsPerApp
 	}
-	s.live = check.NewStepLiveness(s.mon, o.LivenessBound)
+	if o.MaxCrashes <= 0 {
+		// Safety-only under crashes: a stalled survivor is expected, not
+		// a liveness bug (see Options.MaxCrashes).
+		s.live = check.NewStepLiveness(s.mon, o.LivenessBound)
+	}
 	s.World.Settle()
 	return nil
 }

@@ -31,7 +31,7 @@ func ExploreRandom(b Builder, opts Options) (*Result, error) {
 			return nil, err
 		}
 		res.Schedules++
-		dups, drops := o.MaxDuplicates, o.MaxDrops
+		dups, drops, crashes := o.MaxDuplicates, o.MaxDrops, o.MaxCrashes
 
 		// Priority change points: distinct schedule depths, drawn once
 		// per schedule.
@@ -54,6 +54,11 @@ func ExploreRandom(b Builder, opts Options) (*Result, error) {
 			switch c.Op {
 			case OpRequest, OpRelease:
 				return fmt.Sprintf("n%d", c.Node)
+			case OpCrash:
+				// Crashes are their own actor per node: sharing the
+				// node's priority would schedule the crash instead of
+				// every request it precedes in the enabled order.
+				return fmt.Sprintf("c%d", c.Node)
 			case OpDeliver:
 				return fmt.Sprintf("l%d>%d", c.From, c.To)
 			default:
@@ -64,7 +69,7 @@ func ExploreRandom(b Builder, opts Options) (*Result, error) {
 		var sched Schedule
 		violated := false
 		for len(sched) < o.MaxSteps {
-			en := sys.enabled(o, dups, drops)
+			en := sys.enabled(o, dups, drops, crashes)
 			if len(en) == 0 {
 				sys.checkTerminal(o)
 				violated = !sys.mon.Ok()
@@ -88,6 +93,8 @@ func ExploreRandom(b Builder, opts Options) (*Result, error) {
 				dups--
 			case OpDrop:
 				drops--
+			case OpCrash:
+				crashes--
 			}
 			if err := sys.apply(c); err != nil {
 				return nil, fmt.Errorf("explore: enabled choice failed to apply: %w", err)

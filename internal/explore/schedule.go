@@ -46,13 +46,15 @@ func Replay(b Builder, sched Schedule, opts Options) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	dups, drops := o.MaxDuplicates, o.MaxDrops
+	dups, drops, crashes := o.MaxDuplicates, o.MaxDrops, o.MaxCrashes
 	for _, c := range sched {
 		switch c.Op {
 		case OpDuplicate:
 			dups--
 		case OpDrop:
 			drops--
+		case OpCrash:
+			crashes--
 		}
 		if err := sys.apply(c); err != nil {
 			if !sys.mon.Ok() {
@@ -66,7 +68,7 @@ func Replay(b Builder, sched Schedule, opts Options) ([]string, error) {
 			return sys.mon.Violations(), nil
 		}
 	}
-	if len(sys.enabled(o, dups, drops)) == 0 {
+	if len(sys.enabled(o, dups, drops, crashes)) == 0 {
 		sys.checkTerminal(o)
 	}
 	return sys.mon.Violations(), nil

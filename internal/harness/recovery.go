@@ -1,0 +1,281 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"gridmutex/internal/check"
+	"gridmutex/internal/core"
+	"gridmutex/internal/des"
+	"gridmutex/internal/faults"
+	"gridmutex/internal/mutex"
+	"gridmutex/internal/recovery"
+	"gridmutex/internal/simnet"
+	"gridmutex/internal/stats"
+	"gridmutex/internal/workload"
+)
+
+// RecoveryParams tunes the crash-recovery experiment on top of a Scale.
+type RecoveryParams struct {
+	// Periods is the swept heartbeat-period axis.
+	Periods []time.Duration
+	// Spec is the composition under test; zero value means naimi-naimi.
+	Spec core.Spec
+	// CrashCoordinator targets the crash at coordinator (primary) nodes
+	// instead of application token holders. Either way the victim is the
+	// worst case for its class: it crashes the instant the cluster's
+	// activity touches it (an application entering its CS, or the primary
+	// granting one).
+	CrashCoordinator bool
+}
+
+// RecoveryPoint is the aggregate of one (period, ρ) cell: how fast the
+// composition regenerates the token after a deterministic worst-case
+// crash, and what the failure detector costs in messages.
+type RecoveryPoint struct {
+	Period time.Duration
+	Rho    float64
+	// RecoveryLatency aggregates crash-to-first-regeneration delays in
+	// milliseconds across repetitions.
+	RecoveryLatency stats.Summary
+	// Epochs counts regeneration epochs across repetitions.
+	Epochs int64
+	// Obtaining aggregates the obtaining time (ms) of the surviving
+	// grants, for the latency-vs-overhead trade-off.
+	Obtaining stats.Summary
+	// DetectorMsgsPerSec is the failure-detector message rate (heartbeats,
+	// probes, acks and epoch announcements) per second of virtual time —
+	// the standing overhead of crash tolerance.
+	DetectorMsgsPerSec float64
+	// DetectorShare is the detector's fraction of all sent messages.
+	DetectorShare float64
+	// Grants counts critical sections entered across repetitions.
+	Grants int64
+}
+
+// RecoveryResult is the crash-recovery experiment: one point per
+// (heartbeat period, ρ).
+type RecoveryResult struct {
+	Params RecoveryParams
+	Scale  Scale
+	Points []RecoveryPoint
+}
+
+// Point returns the cell for (period, rho), or nil.
+func (r *RecoveryResult) Point(period time.Duration, rho float64) *RecoveryPoint {
+	for i := range r.Points {
+		if r.Points[i].Period == period && r.Points[i].Rho == rho {
+			return &r.Points[i]
+		}
+	}
+	return nil
+}
+
+// detectorKinds are the message kinds the recovery layer adds.
+var detectorKinds = []string{"rec.hb", "rec.probe", "rec.ack", "rec.epoch"}
+
+// RunRecovery sweeps the heartbeat period across the scale's ρ axis. Every
+// repetition injects one deterministic crash — drawn by faults.OnCSEntry
+// from the repetition's seed — of a token-holding application process (or,
+// with CrashCoordinator, of the primary whose cluster's application enters
+// the CS), then measures the crash-to-regeneration latency and the
+// detector's message overhead.
+//
+// Repetitions always run serially on the calling goroutine; Scale.Workers
+// is ignored. The sweep is small (periods × ρ × repetitions of a quick
+// scale) and the serial order keeps the aggregate byte-identical without a
+// merge step.
+func RunRecovery(params RecoveryParams, scale Scale, progress func(string)) (*RecoveryResult, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, err
+	}
+	if len(params.Periods) == 0 {
+		return nil, fmt.Errorf("harness: RunRecovery needs at least one heartbeat period")
+	}
+	if params.Spec == (core.Spec{}) {
+		params.Spec = core.Spec{Intra: "naimi", Inter: "naimi"}
+	}
+	res := &RecoveryResult{Params: params, Scale: scale}
+	for _, period := range params.Periods {
+		for _, rho := range scale.Rhos {
+			p := RecoveryPoint{Period: period, Rho: rho}
+			latency := stats.Accumulator{Retain: true}
+			obtain := stats.Accumulator{Retain: true}
+			var detectorMsgs, totalMsgs int64
+			var virtual time.Duration
+			for rep := 0; rep < scale.Repetitions; rep++ {
+				seed := deriveSeed(scale.BaseSeed^int64(period), rho, rep)
+				out, err := runRecoveryOnce(params, scale, period, rho, seed)
+				if err != nil {
+					return nil, fmt.Errorf("harness: recovery period=%v rho=%g rep=%d: %w",
+						period, rho, rep, err)
+				}
+				for _, d := range out.latencies {
+					latency.Push(float64(d) / float64(time.Millisecond))
+				}
+				for _, r := range out.records {
+					obtain.Push(float64(r.Obtaining()) / float64(time.Millisecond))
+				}
+				p.Epochs += out.epochs
+				p.Grants += int64(len(out.records))
+				for _, k := range detectorKinds {
+					detectorMsgs += out.counters.ByKind[k]
+				}
+				totalMsgs += out.counters.Messages
+				virtual += out.elapsed
+			}
+			p.RecoveryLatency = latency.Summarize()
+			p.Obtaining = obtain.Summarize()
+			if sec := virtual.Seconds(); sec > 0 {
+				p.DetectorMsgsPerSec = float64(detectorMsgs) / sec
+			}
+			if totalMsgs > 0 {
+				p.DetectorShare = float64(detectorMsgs) / float64(totalMsgs)
+			}
+			res.Points = append(res.Points, p)
+			if progress != nil {
+				progress(fmt.Sprintf("period=%6s rho=%6.0f  recover=%8.2fms  detector=%7.1f msg/s",
+					period, rho, p.RecoveryLatency.Mean, p.DetectorMsgsPerSec))
+			}
+		}
+	}
+	return res, nil
+}
+
+// recoveryOutcome is what one crash-recovery run yields.
+type recoveryOutcome struct {
+	records   []workload.Record
+	latencies []time.Duration
+	epochs    int64
+	counters  simnet.Counters
+	elapsed   time.Duration
+}
+
+// runRecoveryOnce executes one seeded run: build the crash-tolerant
+// deployment (two extra nodes per cluster — primary and standby), inject
+// one crash-on-CS-entry fault, drive the workload to completion of every
+// survivor, and check safety with the recovery-aware monitor.
+func runRecoveryOnce(params RecoveryParams, scale Scale, period time.Duration, rho float64, seed int64) (recoveryOutcome, error) {
+	// Two reserved nodes per cluster (primary coordinator and standby) so
+	// the application process count matches the other experiments.
+	s := scale
+	s.AppsPerCluster++ // grid() adds one for the coordinator; add the standby here
+	g, err := grid(System{Spec: params.Spec}, s)
+	if err != nil {
+		return recoveryOutcome{}, err
+	}
+	sim := des.New()
+	net := simnet.New(sim, g, simnet.Options{Jitter: scale.Jitter, Seed: seed})
+	mon := check.NewMonitor(sim)
+	runner, err := workload.NewRunner(sim, workload.Params{
+		Alpha: scale.Alpha, Rho: rho, Dist: workload.Exponential,
+		CSPerProcess: scale.CSPerProcess, Seed: seed,
+	}, mon)
+	if err != nil {
+		return recoveryOutcome{}, err
+	}
+
+	crash := func(node int) {
+		net.Crash(node)
+		runner.Crash(mutex.ID(node))
+		mon.Crashed(mutex.ID(node))
+	}
+	// Draw the victim and the trigger ordinal from the run seed. Candidate
+	// victims are the application nodes; under CrashCoordinator the crash
+	// is redirected to the victim's primary at the same trigger instant —
+	// the moment the primary's cluster holds the global CS right.
+	var appNodes []int
+	for c := 0; c < g.NumClusters(); c++ {
+		appNodes = append(appNodes, g.NodesIn(c)[2:]...)
+	}
+	trig := faults.OnCSEntry(seed, appNodes, scale.CSPerProcess)
+	entries := 0
+	fired := false
+	appCB := func(id mutex.ID) mutex.Callbacks {
+		inner := runner.Callbacks(id)
+		if int(id) != trig.Victim {
+			return inner
+		}
+		return mutex.Callbacks{OnAcquire: func() {
+			inner.OnAcquire()
+			entries++
+			if entries == trig.Entry && !fired {
+				fired = true
+				if params.CrashCoordinator {
+					crash(g.NodesIn(g.ClusterOf(trig.Victim))[0])
+				} else {
+					crash(trig.Victim)
+				}
+			}
+		}}
+	}
+
+	remote := scale.RemoteRTT
+	if remote <= 0 {
+		remote = 20 * time.Millisecond
+	}
+	intra, inter := recovery.StaggeredTimeouts(period, remote/2)
+	dep, err := recovery.Build(net, g, params.Spec, appCB, sim, recovery.BuildOptions{
+		Intra:    intra,
+		Inter:    inter,
+		NodeDown: net.Down,
+		OnEpoch: func(group string, self mutex.ID, e recovery.Epoch, members []mutex.ID, holder mutex.ID) {
+			mon.BeginEpoch(group)
+		},
+	})
+	if err != nil {
+		return recoveryOutcome{}, err
+	}
+	runner.Bind(dep.Apps)
+	runner.Start()
+	// Heartbeats keep the event queue non-empty forever, so drive the run
+	// step by step until the surviving workload completes, then stop the
+	// detectors and drain.
+	limit := uint64(runner.ExpectedTotal())*10_000 + 1_000_000
+	for !runner.Done() {
+		if sim.Processed() > limit {
+			return recoveryOutcome{}, fmt.Errorf("liveness: %d requests unsatisfied after %d events",
+				runner.Outstanding(), sim.Processed())
+		}
+		if !sim.Step() {
+			return recoveryOutcome{}, fmt.Errorf("queue drained with %d requests unsatisfied", runner.Outstanding())
+		}
+	}
+	dep.Stop()
+	if err := sim.RunCapped(limit); err != nil {
+		return recoveryOutcome{}, fmt.Errorf("did not drain: %w", err)
+	}
+	mon.AssertQuiescent()
+	if !mon.Ok() {
+		return recoveryOutcome{}, fmt.Errorf("property violation: %s", mon.Violations()[0])
+	}
+	return recoveryOutcome{
+		records:   runner.Records(),
+		latencies: mon.RecoveryLatencies(),
+		epochs:    mon.Epochs(),
+		counters:  net.Counters(),
+		elapsed:   sim.Now(),
+	}, nil
+}
+
+// Table renders the crash-recovery experiment: recovery latency and
+// detector overhead per (heartbeat period, ρ).
+func (r *RecoveryResult) Table(title string) string {
+	var b strings.Builder
+	target := "application token holder"
+	if r.Params.CrashCoordinator {
+		target = "coordinator of the active cluster"
+	}
+	fmt.Fprintf(&b, "%s — token regeneration after a crash of the %s\n", title, target)
+	fmt.Fprintf(&b, "N = %d application processes (+2 recovery nodes per cluster), alpha = %v, %d CS/process, %d repetitions\n",
+		r.Scale.N(), r.Scale.Alpha, r.Scale.CSPerProcess, r.Scale.Repetitions)
+	fmt.Fprintf(&b, "%10s %8s %14s %14s %12s %12s %10s\n",
+		"period", "rho", "recover(ms)", "recover-max", "detect/s", "det-share", "epochs")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%10s %8.0f %14.3f %14.3f %12.1f %12.4f %10d\n",
+			p.Period, p.Rho, p.RecoveryLatency.Mean, p.RecoveryLatency.Max,
+			p.DetectorMsgsPerSec, p.DetectorShare, p.Epochs)
+	}
+	return b.String()
+}

@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func recoveryTestScale() Scale {
+	s := QuickScale()
+	s.AppsPerCluster = 3
+	s.CSPerProcess = 5
+	s.Repetitions = 2
+	s.Rhos = []float64{6}
+	return s
+}
+
+func TestRunRecoveryTokenHolder(t *testing.T) {
+	params := RecoveryParams{Periods: []time.Duration{10 * time.Millisecond}}
+	res, err := RunRecovery(params, recoveryTestScale(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 1 {
+		t.Fatalf("points %d, want 1", len(res.Points))
+	}
+	p := res.Points[0]
+	if p.Epochs == 0 {
+		t.Error("no regeneration epochs despite an injected crash per repetition")
+	}
+	if p.RecoveryLatency.N == 0 || p.RecoveryLatency.Mean <= 0 {
+		t.Errorf("recovery latency %+v, want positive samples", p.RecoveryLatency)
+	}
+	if p.DetectorMsgsPerSec <= 0 {
+		t.Error("no detector traffic recorded")
+	}
+	if p.Grants == 0 {
+		t.Error("no grants recorded")
+	}
+	tab := res.Table("test")
+	if !strings.Contains(tab, "recover(ms)") || !strings.Contains(tab, "application token holder") {
+		t.Errorf("table misses headers:\n%s", tab)
+	}
+}
+
+func TestRunRecoveryCoordinator(t *testing.T) {
+	params := RecoveryParams{
+		Periods:          []time.Duration{10 * time.Millisecond},
+		CrashCoordinator: true,
+	}
+	res, err := RunRecovery(params, recoveryTestScale(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Points[0]
+	if p.Epochs == 0 {
+		t.Error("no regeneration epochs despite a coordinator crash per repetition")
+	}
+	if !strings.Contains(res.Table("test"), "coordinator of the active cluster") {
+		t.Error("table misses the coordinator-target header")
+	}
+}
+
+// TestRunRecoveryDeterministic: the whole sweep is a pure function of the
+// base seed.
+func TestRunRecoveryDeterministic(t *testing.T) {
+	params := RecoveryParams{Periods: []time.Duration{10 * time.Millisecond}}
+	a, err := RunRecovery(params, recoveryTestScale(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunRecovery(params, recoveryTestScale(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Table("x") != b.Table("x") {
+		t.Fatal("same base seed produced different recovery tables")
+	}
+}

@@ -40,6 +40,8 @@ var DESDeterminism = &Analyzer{
 		"internal/harness",
 		"internal/reliable",
 		"internal/explore",
+		"internal/recovery",
+		"internal/faults",
 	),
 	Run: runDESDeterminism,
 }

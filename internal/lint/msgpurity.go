@@ -36,6 +36,7 @@ var MsgPurity = &Analyzer{
 		"internal/reliable",
 		"internal/simnet",
 		"internal/livenet",
+		"internal/recovery",
 	),
 	Run: runMsgPurity,
 }

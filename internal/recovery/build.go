@@ -1,0 +1,302 @@
+package recovery
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"gridmutex/internal/algorithms"
+	"gridmutex/internal/core"
+	"gridmutex/internal/mutex"
+	"gridmutex/internal/topology"
+)
+
+// BuildOptions tune a crash-tolerant deployment.
+type BuildOptions struct {
+	// Intra tunes the failure detectors of the per-cluster intra groups.
+	Intra Options
+	// Inter tunes the inter group's detector. A zero Timeout derives a
+	// staggered default: intra Timeout ×2 plus the intra probe timeout.
+	// The stagger matters for safety — when a primary dies while its
+	// cluster owns the global CS right, the cluster's intra recovery (and
+	// the standby's claim on the inter token, see Member.AdoptCS) must
+	// complete before the inter group's census runs, or the inter token
+	// would be regenerated in another cluster while this one's
+	// application is still inside its critical section.
+	Inter Options
+	// NodeDown is the crash oracle (typically simnet's (*Network).Down);
+	// nil means nodes never crash.
+	NodeDown func(node int) bool
+	// OnEpoch, when non-nil, observes every epoch application of every
+	// member — the hook monitors and tracers attach to.
+	OnEpoch func(group string, self mutex.ID, e Epoch, members []mutex.ID, holder mutex.ID)
+}
+
+// Standby is a cluster's backup coordinator: a passive member of both the
+// cluster's intra group and the inter group that activates — creates a
+// coordinator automaton and takes over both memberships — when its
+// primary is excluded from the intra group.
+type Standby struct {
+	id      mutex.ID
+	primary mutex.ID
+	cluster int
+	intraM  *Member
+	interM  *Member
+	coord   *core.Coordinator
+
+	activated bool
+}
+
+// ID returns the standby's process id.
+func (s *Standby) ID() mutex.ID { return s.id }
+
+// Activated reports whether the standby has taken over.
+func (s *Standby) Activated() bool { return s.activated }
+
+// Coordinator returns the automaton created at takeover, or nil.
+func (s *Standby) Coordinator() *core.Coordinator { return s.coord }
+
+// onIntraEpoch is the takeover trigger, installed as the OnEpoch hook of
+// the standby's intra member: it fires inside the epoch application,
+// before any buffered traffic is flushed, so the new coordinator's
+// callbacks are in place ahead of queued requests.
+func (s *Standby) onIntraEpoch(e Epoch, members []mutex.ID, holder mutex.ID) {
+	if s.activated || containsID(members, s.primary) || !containsID(members, s.id) {
+		return
+	}
+	s.activated = true
+	c := core.NewCoordinator(s.id)
+	s.coord = c
+	s.intraM.SetCallbacks(c.IntraCallbacks())
+	s.interM.SetCallbacks(c.InterCallbacks())
+	if holder != s.id && holder != mutex.None {
+		// The intra token is out with an application process, so the dead
+		// primary was IN: the cluster still owns the global CS right.
+		// Inherit the primary's inter possession as a claim — the inter
+		// census will regenerate the inter token here — and resume the
+		// automaton from IN.
+		s.interM.AdoptCS()
+		c.Adopt(s.intraM, s.interM, core.In)
+		return
+	}
+	// The token was regenerated at the standby (or the epoch froze, in
+	// which case Adopt's request simply stays recorded): the cluster does
+	// not own the CS right, boot normally.
+	c.Adopt(s.intraM, s.interM, core.Booting)
+}
+
+// Deployment is a wired crash-tolerant grid.
+type Deployment struct {
+	// Apps lists the application processes in ascending ID order; each
+	// Instance is a recovery Member.
+	Apps []core.App
+	// Coordinators lists the primary coordinators, in cluster order.
+	Coordinators []*core.Coordinator
+	// Standbys lists the backup coordinators, in cluster order.
+	Standbys []*Standby
+	// Procs maps process IDs to their dispatchers.
+	Procs map[mutex.ID]*core.Process
+	// Members lists every recovery member in deterministic order (intra
+	// groups by cluster then id, then inter members by id).
+	Members []*Member
+}
+
+// Stop halts every member's failure detector so a driven simulation can
+// drain (heartbeats otherwise keep the event queue non-empty forever).
+func (d *Deployment) Stop() {
+	for _, m := range d.Members {
+		m.Stop()
+	}
+}
+
+// Build assembles the paper's two-level composition with crash recovery:
+// within every cluster the first node hosts the primary coordinator, the
+// second node the standby, and the remaining nodes application processes.
+// The spec's intra algorithm runs per cluster under a recovery group
+// whose regeneration preference is [primary, standby]; the inter
+// algorithm runs among all primaries and standbys (standbys passive)
+// under a recovery group regenerating at the lowest live member.
+//
+// Every cluster needs at least 3 nodes (primary, standby, one
+// application). Fault-free runs of this deployment behave exactly like
+// core.BuildComposed apart from heartbeat traffic and the standby's
+// passive memberships.
+func Build(fab mutex.Fabric, grid *topology.Grid, spec core.Spec, appCB core.CallbackFunc, clock Clock, bopts BuildOptions) (*Deployment, error) {
+	intraF, err := algorithms.Factory(spec.Intra)
+	if err != nil {
+		return nil, fmt.Errorf("recovery: %w", err)
+	}
+	interF, err := algorithms.Factory(spec.Inter)
+	if err != nil {
+		return nil, fmt.Errorf("recovery: %w", err)
+	}
+	intraOpts := bopts.Intra.withDefaults()
+	interOpts := bopts.Inter
+	if interOpts.Period <= 0 {
+		interOpts.Period = intraOpts.Period
+	}
+	if interOpts.Timeout <= 0 {
+		interOpts.Timeout = 2*intraOpts.Timeout + intraOpts.ProbeTimeout
+	}
+	interOpts = interOpts.withDefaults()
+
+	down := func(id mutex.ID) func() bool {
+		if bopts.NodeDown == nil {
+			return nil
+		}
+		node := int(id)
+		return func() bool { return bopts.NodeDown(node) }
+	}
+	observe := func(group string, self mutex.ID) func(Epoch, []mutex.ID, mutex.ID) {
+		if bopts.OnEpoch == nil {
+			return nil
+		}
+		return func(e Epoch, members []mutex.ID, holder mutex.ID) {
+			bopts.OnEpoch(group, self, e, members, holder)
+		}
+	}
+
+	// The inter group spans every primary and standby.
+	var interIDs []mutex.ID
+	for c := 0; c < grid.NumClusters(); c++ {
+		if grid.ClusterSize(c) < 3 {
+			return nil, fmt.Errorf("recovery: cluster %d has %d nodes; need a primary, a standby and at least one application process", c, grid.ClusterSize(c))
+		}
+		nodes := grid.NodesIn(c)
+		interIDs = append(interIDs, mutex.ID(nodes[0]), mutex.ID(nodes[1]))
+	}
+	sort.Slice(interIDs, func(i, j int) bool { return interIDs[i] < interIDs[j] })
+	interHolder := mutex.ID(grid.NodesIn(0)[0])
+
+	d := &Deployment{Procs: make(map[mutex.ID]*core.Process)}
+	for c := 0; c < grid.NumClusters(); c++ {
+		nodes := grid.NodesIn(c)
+		members := make([]mutex.ID, len(nodes))
+		for i, n := range nodes {
+			members[i] = mutex.ID(n)
+		}
+		primary, standbyID := members[0], members[1]
+		coord := core.NewCoordinator(primary)
+		sb := &Standby{id: standbyID, primary: primary, cluster: c}
+		group := fmt.Sprintf("intra%d", c)
+		for _, id := range members {
+			proc := core.NewProcess(id, fab.Endpoint(id))
+			d.Procs[id] = proc
+			fab.RegisterAt(id, int(id), proc)
+			var cbs mutex.Callbacks
+			switch id {
+			case primary:
+				cbs = coord.IntraCallbacks()
+			case standbyID:
+				// Passive until takeover.
+			default:
+				if appCB != nil {
+					cbs = appCB(id)
+				}
+			}
+			onEpoch := observe(group, id)
+			if id == standbyID {
+				obs := onEpoch
+				onEpoch = func(e Epoch, ms []mutex.ID, holder mutex.ID) {
+					if obs != nil {
+						obs(e, ms, holder)
+					}
+					sb.onIntraEpoch(e, ms, holder)
+				}
+			}
+			m, err := NewMember(Config{
+				Group: group, Self: id, Members: members, Holder: primary,
+				Factory: intraF, Env: proc.Env(0), Clock: clock,
+				Callbacks:   cbs,
+				HolderPrefs: []mutex.ID{primary, standbyID},
+				CrashedSelf: down(id),
+				OnEpoch:     onEpoch,
+				Opts:        intraOpts,
+			})
+			if err != nil {
+				return nil, err
+			}
+			proc.Attach(0, m)
+			d.Members = append(d.Members, m)
+			switch id {
+			case primary:
+				// wired below, with the inter member
+			case standbyID:
+				sb.intraM = m
+			default:
+				d.Apps = append(d.Apps, core.App{ID: id, Cluster: c, Instance: m})
+			}
+		}
+		d.Coordinators = append(d.Coordinators, coord)
+		d.Standbys = append(d.Standbys, sb)
+	}
+
+	// Inter members: one per primary and standby, attached at level 1.
+	var interMembers []*Member
+	for c := 0; c < grid.NumClusters(); c++ {
+		nodes := grid.NodesIn(c)
+		for i, role := range []mutex.ID{mutex.ID(nodes[0]), mutex.ID(nodes[1])} {
+			id := role
+			var cbs mutex.Callbacks
+			if i == 0 {
+				cbs = d.Coordinators[c].InterCallbacks()
+			}
+			m, err := NewMember(Config{
+				Group: "inter", Self: id, Members: interIDs, Holder: interHolder,
+				Factory: interF, Env: d.Procs[id].Env(1), Clock: clock,
+				Callbacks:   cbs,
+				CrashedSelf: down(id),
+				OnEpoch:     observe("inter", id),
+				Opts:        interOpts,
+			})
+			if err != nil {
+				return nil, err
+			}
+			d.Procs[id].Attach(1, m)
+			interMembers = append(interMembers, m)
+			if i == 1 {
+				d.Standbys[c].interM = m
+			} else {
+				// Start the primary's automaton on its serial context,
+				// exactly like core's builder.
+				coord, intraM := d.Coordinators[c], d.memberOf(id, 0)
+				interM := m
+				d.Procs[id].Env(0).Local(func() { coord.Start(intraM, interM) })
+			}
+		}
+	}
+	d.Members = append(d.Members, interMembers...)
+	for _, m := range d.Members {
+		m.Start()
+	}
+	return d, nil
+}
+
+// memberOf finds the already-built member hosted by proc id at the given
+// level (its Attach slot).
+func (d *Deployment) memberOf(id mutex.ID, level core.Level) *Member {
+	inst := d.Procs[id].Instance(level)
+	m, ok := inst.(*Member)
+	if !ok {
+		panic(fmt.Sprintf("recovery: process %d level %d is %T", id, level, inst))
+	}
+	return m
+}
+
+// StaggeredTimeouts returns detector options where the inter group's
+// timeout is staggered after the intra group's worst-case recovery, for a
+// given heartbeat period and maximum one-way latency. Helper for harness
+// experiments sweeping the period.
+func StaggeredTimeouts(period, maxDelay time.Duration) (intra, inter Options) {
+	intra = Options{
+		Period:       period,
+		Timeout:      2*period + 4*maxDelay,
+		ProbeTimeout: 2*period + 4*maxDelay,
+	}
+	inter = Options{
+		Period:       period,
+		Timeout:      2*intra.Timeout + intra.ProbeTimeout,
+		ProbeTimeout: 2*period + 4*maxDelay,
+	}
+	return intra, inter
+}

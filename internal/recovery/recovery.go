@@ -1,0 +1,891 @@
+// Package recovery adds crash tolerance to the token algorithms and their
+// composition: a heartbeat-based failure detector and a token-regeneration
+// controller, both driven entirely by virtual-time events so that faulty
+// runs stay byte-identical per seed.
+//
+// # Model
+//
+// Every algorithm group (one per cluster for the intra level, one global
+// group for the inter level) is wrapped in epochs. A Member owns the group
+// endpoint of one process: it runs the underlying algorithm instance for
+// the current epoch, tags every algorithm message with the epoch, and
+// exchanges heartbeats with the other members. When the lowest-id live
+// member (the leader) suspects a peer — no heartbeat within the timeout —
+// it runs a probe round: every unsuspected member reports whether it holds
+// the token or is inside the critical section, and fences its current
+// epoch (buffering algorithm messages) so a token in flight cannot slip
+// past the census. The leader then announces a new epoch: the surviving
+// membership, plus the token position — the holder found by the census,
+// or, when the token died with a crashed node, a deterministically chosen
+// regeneration holder. Every member rebuilds its algorithm instance for
+// the new membership and re-issues its own outstanding request; messages
+// from dead epochs are dropped, messages from future epochs are buffered
+// until the announcement arrives.
+//
+// # Owner state
+//
+// A Member implements mutex.Instance, so owners (the workload, the
+// composition coordinator) drive it exactly like a raw algorithm
+// instance. The member tracks the owner's state (idle / requested /
+// in-CS) across epochs: a rebuild re-requests on behalf of a requesting
+// owner and re-seats (with a suppressed duplicate OnAcquire) the token
+// under an owner that is inside its critical section.
+//
+// # What is and is not survivable
+//
+// Crashes of application processes — including one holding the token,
+// even inside its critical section — and of cluster coordinators (with a
+// standby taking over, see Build) are survivable. A group whose
+// HolderPrefs all crashed freezes: regenerating the intra token at an
+// application process would let the cluster enter critical sections
+// without the global (inter) token, so the leader announces a frozen
+// epoch (Holder == None) and the group stops — safety over liveness.
+// Restarted nodes regain connectivity but are not re-admitted to their
+// groups: the member retires on the down→up edge instead of acting on
+// pre-crash state. Re-admission (state hand-off to a rejoining node) is
+// future work.
+//
+// The failure detector is timeout-based, so safety of regeneration rests
+// on the usual accuracy assumption: a live, reachable member is never
+// suspected. Under the simulator latencies are bounded, so any Timeout
+// exceeding the heartbeat period plus the maximum one-way delay makes the
+// detector accurate in the absence of real crashes.
+package recovery
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"gridmutex/internal/des"
+	"gridmutex/internal/mutex"
+)
+
+// Clock is the virtual time source and timer a Member runs on. The DES
+// simulator implements it.
+type Clock interface {
+	Now() des.Time
+	After(d time.Duration, f func())
+}
+
+// Epoch identifies one membership-and-token generation of a group. Epochs
+// are totally ordered by (Seq, Leader); a member accepts any strictly
+// greater epoch, so two concurrent leaders (possible only under detector
+// inaccuracy) converge to the maximum.
+type Epoch struct {
+	// Seq increments on every announcement.
+	Seq uint32
+	// Leader is the member that announced the epoch (None for the initial
+	// epoch, which is never announced).
+	Leader mutex.ID
+}
+
+// Less reports whether e precedes o in epoch order.
+func (e Epoch) Less(o Epoch) bool {
+	if e.Seq != o.Seq {
+		return e.Seq < o.Seq
+	}
+	return e.Leader < o.Leader
+}
+
+// String renders the epoch compactly.
+func (e Epoch) String() string { return fmt.Sprintf("e%d@%d", e.Seq, e.Leader) }
+
+// Heartbeat is the periodic aliveness beacon.
+type Heartbeat struct{}
+
+// Kind implements mutex.Message.
+func (Heartbeat) Kind() string { return "rec.hb" }
+
+// Size implements mutex.Message: a one-byte tag.
+func (Heartbeat) Size() int { return 1 }
+
+// Probe asks a member for its token census answer during round Round.
+type Probe struct {
+	Round uint32
+	E     Epoch
+}
+
+// Kind implements mutex.Message.
+func (Probe) Kind() string { return "rec.probe" }
+
+// Size implements mutex.Message: tag + round + epoch.
+func (Probe) Size() int { return 1 + 4 + 8 }
+
+// ProbeAck answers a Probe: does the member hold the token, and is its
+// owner inside the critical section (or claiming it, see Member.AdoptCS)?
+type ProbeAck struct {
+	Round uint32
+	Holds bool
+	InCS  bool
+}
+
+// Kind implements mutex.Message.
+func (ProbeAck) Kind() string { return "rec.ack" }
+
+// Size implements mutex.Message: tag + round + two flags.
+func (ProbeAck) Size() int { return 1 + 4 + 2 }
+
+// NewEpoch announces an epoch: the surviving membership and the token
+// position. Holder == None announces a frozen epoch (see package doc).
+type NewEpoch struct {
+	E       Epoch
+	Members []mutex.ID
+	Holder  mutex.ID
+}
+
+// Kind implements mutex.Message.
+func (NewEpoch) Kind() string { return "rec.epoch" }
+
+// Size implements mutex.Message: tag + epoch + holder + member list.
+func (m NewEpoch) Size() int { return 1 + 8 + 4 + 4*len(m.Members) }
+
+// Wrapped carries an algorithm message tagged with its epoch. It is
+// transparent for tracing and counters (inner kind, inner size plus tag).
+type Wrapped struct {
+	E     Epoch
+	Inner mutex.Message
+}
+
+// Kind implements mutex.Message.
+func (w Wrapped) Kind() string { return w.Inner.Kind() }
+
+// Size implements mutex.Message.
+func (w Wrapped) Size() int { return w.Inner.Size() + 8 }
+
+// Options tune the failure detector.
+type Options struct {
+	// Period is the heartbeat interval. Default 50ms.
+	Period time.Duration
+	// Timeout is the silence after which a peer is suspected. It must
+	// exceed Period plus the maximum one-way delay, or live members are
+	// falsely suspected. Default 4×Period.
+	Timeout time.Duration
+	// ProbeTimeout bounds one probe round; unanswered members are
+	// suspected and the round retried without them. Rounds normally finish
+	// early, on the last ack. Default Timeout.
+	ProbeTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Period <= 0 {
+		o.Period = 50 * time.Millisecond
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 4 * o.Period
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = o.Timeout
+	}
+	return o
+}
+
+// Config wires one Member.
+type Config struct {
+	// Group names the group, for observers and tracing.
+	Group string
+	// Self, Members, Holder describe the initial epoch exactly like a
+	// mutex.Config.
+	Self    mutex.ID
+	Members []mutex.ID
+	Holder  mutex.ID
+	// Factory builds the underlying algorithm instance, once per epoch.
+	Factory mutex.Factory
+	// Env is the group's network endpoint (for a composed process, the
+	// per-level env of its core.Process).
+	Env mutex.Env
+	// Clock drives heartbeats and timeouts.
+	Clock Clock
+	// Callbacks are the owner's callbacks; SetCallbacks can replace them
+	// later (standby takeover).
+	Callbacks mutex.Callbacks
+	// HolderPrefs, when non-empty, restricts token regeneration to these
+	// members in preference order; if none survives, the group freezes.
+	// Empty means "lowest-id live member" — safe only when any member may
+	// hold the token idle (true for the inter group, false for intra
+	// groups, whose token must stay with a coordinator when no
+	// application holds it).
+	HolderPrefs []mutex.ID
+	// CrashedSelf, when non-nil, reports whether this member's own node is
+	// currently crashed — the oracle that keeps a dead node's virtual
+	// timers from doing protocol work (simnet already suppresses its
+	// messages). Typically a closure over simnet's ProcessDown.
+	CrashedSelf func() bool
+	// OnEpoch, when non-nil, fires after this member applies an epoch —
+	// before buffered future-epoch messages are flushed, so a standby
+	// taking over installs its callbacks ahead of any queued request.
+	OnEpoch func(e Epoch, members []mutex.ID, holder mutex.ID)
+	// Opts tunes the failure detector.
+	Opts Options
+}
+
+// Stats counts recovery activity of one member.
+type Stats struct {
+	// Epochs is how many announcements this member applied.
+	Epochs int64
+	// Regenerations is how many epochs this member announced with a
+	// regenerated (not census-found) holder.
+	Regenerations int64
+	// Rounds is how many probe rounds this member led.
+	Rounds int64
+	// Suspicions is how many peers this member suspected.
+	Suspicions int64
+	// StaleDropped counts dead-epoch messages dropped.
+	StaleDropped int64
+	// FencedDropped counts messages fenced during a probe round whose
+	// epoch was then superseded.
+	FencedDropped int64
+	// HeartbeatsSent counts heartbeats emitted.
+	HeartbeatsSent int64
+	// Frozen reports whether the member's group froze.
+	Frozen bool
+	// Retired reports whether the member retired after its node restarted.
+	Retired bool
+}
+
+type ownerState uint8
+
+const (
+	ownerIdle ownerState = iota
+	ownerRequested
+	ownerInCS
+)
+
+type bufferedMsg struct {
+	from mutex.ID
+	msg  Wrapped
+}
+
+// Member is one process's endpoint of a crash-tolerant group: a
+// mutex.Instance that runs the configured algorithm under the current
+// epoch and the failure detector that advances epochs. All entry points
+// run on the owner's serial context (DES event handlers).
+type Member struct {
+	cfg  Config
+	opts Options
+
+	epoch  Epoch
+	live   []mutex.ID // sorted membership of the current epoch
+	holder mutex.ID   // initial holder of the current epoch
+	inner  mutex.Instance
+	cbs    mutex.Callbacks
+
+	owner            ownerState
+	suppressAcquire  bool
+	releaseOnAcquire bool
+
+	lastHeard map[mutex.ID]des.Time
+	suspects  map[mutex.ID]bool
+
+	probing bool
+	round   uint32
+	acks    map[mutex.ID]ProbeAck
+	targets []mutex.ID
+
+	fenced    bool
+	fenceGen  uint64
+	fencedBuf []bufferedMsg
+	future    []bufferedMsg
+
+	frozen  bool
+	started bool
+	stopped bool
+	wasDown bool
+	retired bool
+
+	stats Stats
+}
+
+// NewMember builds a member and its initial-epoch algorithm instance.
+// Call Start to begin heartbeating.
+func NewMember(cfg Config) (*Member, error) {
+	if cfg.Factory == nil {
+		return nil, fmt.Errorf("recovery: nil factory")
+	}
+	if cfg.Env == nil {
+		return nil, fmt.Errorf("recovery: nil env")
+	}
+	if cfg.Clock == nil {
+		return nil, fmt.Errorf("recovery: nil clock")
+	}
+	m := &Member{
+		cfg:       cfg,
+		opts:      cfg.Opts.withDefaults(),
+		epoch:     Epoch{Seq: 0, Leader: mutex.None},
+		holder:    cfg.Holder,
+		cbs:       cfg.Callbacks,
+		lastHeard: make(map[mutex.ID]des.Time, len(cfg.Members)),
+		suspects:  make(map[mutex.ID]bool),
+	}
+	m.live = append([]mutex.ID(nil), cfg.Members...)
+	sort.Slice(m.live, func(i, j int) bool { return m.live[i] < m.live[j] })
+	now := cfg.Clock.Now()
+	for _, id := range m.live {
+		m.lastHeard[id] = now
+	}
+	if err := m.buildInner(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ID returns the member's participant id.
+func (m *Member) ID() mutex.ID { return m.cfg.Self }
+
+// Group returns the configured group name.
+func (m *Member) Group() string { return m.cfg.Group }
+
+// Epoch returns the current epoch.
+func (m *Member) Epoch() Epoch { return m.epoch }
+
+// Live returns the current epoch's membership (sorted, shared slice —
+// callers must not mutate).
+func (m *Member) Live() []mutex.ID { return m.live }
+
+// Stats returns a snapshot of recovery activity.
+func (m *Member) Stats() Stats {
+	s := m.stats
+	s.Frozen = m.frozen
+	s.Retired = m.retired
+	return s
+}
+
+// SetCallbacks replaces the owner callbacks — the hook a standby
+// coordinator uses when it takes over a crashed primary's groups.
+func (m *Member) SetCallbacks(cbs mutex.Callbacks) { m.cbs = cbs }
+
+// Start begins heartbeating and failure detection.
+func (m *Member) Start() {
+	if m.started {
+		panic(fmt.Sprintf("recovery: member %d of %s started twice", m.cfg.Self, m.cfg.Group))
+	}
+	m.started = true
+	m.cfg.Clock.After(m.opts.Period, m.tick)
+}
+
+// Stop halts the detector: the current tick chain ends and no further
+// timers are armed, so a driven simulation can drain.
+func (m *Member) Stop() { m.stopped = true }
+
+// buildInner constructs the algorithm instance for the current epoch.
+// Callbacks and the env are epoch-stamped: a superseded instance's late
+// local upcalls are ignored and its late sends dropped by receivers.
+func (m *Member) buildInner() error {
+	e := m.epoch
+	inst, err := m.cfg.Factory(mutex.Config{
+		Self:    m.cfg.Self,
+		Members: m.live,
+		Holder:  m.holder,
+		Env:     &epochEnv{m: m, e: e},
+		Callbacks: mutex.Callbacks{
+			OnAcquire: func() {
+				if m.epoch == e {
+					m.onInnerAcquire()
+				}
+			},
+			OnPending: func() {
+				if m.epoch == e && m.cbs.OnPending != nil {
+					m.cbs.OnPending()
+				}
+			},
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("recovery: %s instance for %d in %v: %w", m.cfg.Group, m.cfg.Self, e, err)
+	}
+	m.inner = inst
+	return nil
+}
+
+// epochEnv tags every send of one epoch's instance with that epoch, so
+// receivers can tell live traffic from a dead instance's stragglers.
+type epochEnv struct {
+	m *Member
+	e Epoch
+}
+
+func (e *epochEnv) Send(to mutex.ID, msg mutex.Message) {
+	e.m.cfg.Env.Send(to, Wrapped{E: e.e, Inner: msg})
+}
+
+func (e *epochEnv) Local(f func()) { e.m.cfg.Env.Local(f) }
+
+func (m *Member) onInnerAcquire() {
+	if m.releaseOnAcquire {
+		// The owner released while an epoch rebuild's re-acquire was in
+		// flight: drop the critical section the moment it lands.
+		m.releaseOnAcquire = false
+		m.suppressAcquire = false
+		m.inner.Release()
+		return
+	}
+	if m.suppressAcquire {
+		// The re-acquire of an epoch rebuild (or an AdoptCS claim): the
+		// owner is already in its critical section.
+		m.suppressAcquire = false
+		return
+	}
+	if m.owner != ownerRequested {
+		panic(fmt.Sprintf("recovery: member %d of %s granted with owner state %d", m.cfg.Self, m.cfg.Group, m.owner))
+	}
+	m.owner = ownerInCS
+	if m.cbs.OnAcquire != nil {
+		m.cbs.OnAcquire()
+	}
+}
+
+// Request implements mutex.Instance.
+func (m *Member) Request() {
+	if m.owner != ownerIdle {
+		panic(fmt.Sprintf("recovery: member %d of %s requested in owner state %d", m.cfg.Self, m.cfg.Group, m.owner))
+	}
+	m.owner = ownerRequested
+	if m.inner != nil {
+		m.inner.Request()
+	}
+	// With no instance (excluded or frozen) the request is recorded in the
+	// owner state; a future epoch re-issues it.
+}
+
+// Release implements mutex.Instance.
+func (m *Member) Release() {
+	if m.owner != ownerInCS {
+		panic(fmt.Sprintf("recovery: member %d of %s released in owner state %d", m.cfg.Self, m.cfg.Group, m.owner))
+	}
+	m.owner = ownerIdle
+	if m.inner == nil {
+		return
+	}
+	if m.inner.State() == mutex.InCS {
+		m.inner.Release()
+		return
+	}
+	// An epoch rebuild's re-acquire (or an AdoptCS claim) has not landed
+	// yet; release it on arrival.
+	m.releaseOnAcquire = true
+}
+
+// AdoptCS transfers a crashed peer's critical-section claim to this
+// member without a grant: the owner state becomes in-CS, so the next
+// probe census regenerates the token here and the suppressed re-acquire
+// seats it. A standby coordinator uses this to inherit its dead primary's
+// inter-token possession while the cluster's intra token is still out
+// serving an application.
+func (m *Member) AdoptCS() {
+	if m.owner != ownerIdle {
+		panic(fmt.Sprintf("recovery: member %d of %s adopted CS in owner state %d", m.cfg.Self, m.cfg.Group, m.owner))
+	}
+	m.owner = ownerInCS
+	if m.inner != nil && m.inner.State() == mutex.NoReq {
+		m.suppressAcquire = true
+		m.inner.Request()
+	}
+}
+
+// HasPending implements mutex.Instance.
+func (m *Member) HasPending() bool { return m.inner != nil && m.inner.HasPending() }
+
+// HoldsToken implements mutex.Instance.
+func (m *Member) HoldsToken() bool { return m.inner != nil && m.inner.HoldsToken() }
+
+// State implements mutex.Instance, derived from the owner state (which
+// survives epoch rebuilds, unlike the instance's own state).
+func (m *Member) State() mutex.State {
+	switch m.owner {
+	case ownerRequested:
+		return mutex.Req
+	case ownerInCS:
+		return mutex.InCS
+	default:
+		return mutex.NoReq
+	}
+}
+
+// down reports whether this member's own node is crashed.
+func (m *Member) down() bool { return m.cfg.CrashedSelf != nil && m.cfg.CrashedSelf() }
+
+// tick is the heartbeat-period heartbeat/suspect/lead step.
+func (m *Member) tick() {
+	if m.stopped || m.retired {
+		return
+	}
+	if m.down() {
+		m.wasDown = true
+		m.cfg.Clock.After(m.opts.Period, m.tick)
+		return
+	}
+	if m.wasDown {
+		// The node restarted. Acting on pre-crash state would corrupt the
+		// group (stale claims, stale leadership), so the member retires;
+		// re-admission is future work (see package doc).
+		m.retired = true
+		return
+	}
+	for _, id := range m.live {
+		if id == m.cfg.Self {
+			continue
+		}
+		m.cfg.Env.Send(id, Heartbeat{})
+		m.stats.HeartbeatsSent++
+	}
+	if !m.frozen {
+		now := m.cfg.Clock.Now()
+		for _, id := range m.live {
+			if id == m.cfg.Self || m.suspects[id] {
+				continue
+			}
+			if time.Duration(now-m.lastHeard[id]) > m.opts.Timeout {
+				m.suspects[id] = true
+				m.stats.Suspicions++
+			}
+		}
+		if !m.probing && m.isLeader() && m.anySuspectLive() {
+			m.startRound()
+		}
+	}
+	m.cfg.Clock.After(m.opts.Period, m.tick)
+}
+
+// isLeader reports whether this member is the lowest-id unsuspected live
+// member — the one that runs probe rounds and announces epochs.
+func (m *Member) isLeader() bool {
+	for _, id := range m.live {
+		if !m.suspects[id] {
+			return id == m.cfg.Self
+		}
+	}
+	return false
+}
+
+func (m *Member) anySuspectLive() bool {
+	for _, id := range m.live {
+		if m.suspects[id] {
+			return true
+		}
+	}
+	return false
+}
+
+// heard records aliveness evidence from a peer.
+func (m *Member) heard(from mutex.ID) {
+	if _, known := m.lastHeard[from]; !known {
+		// Not part of the current membership universe (e.g. a retired or
+		// excluded node): evidence is ignored, re-admission is future work.
+		if !containsID(m.live, from) {
+			return
+		}
+	}
+	m.lastHeard[from] = m.cfg.Clock.Now()
+	if m.suspects[from] && !m.probing {
+		// A false suspicion cleared before any round acted on it.
+		delete(m.suspects, from)
+	}
+}
+
+// fence starts (or re-arms) the probe fence: current-epoch algorithm
+// messages are buffered so a token in flight cannot slip past the census.
+// If no announcement ends the fence — the round was aborted or its leader
+// died — the buffer is flushed after a conservative deadline, preserving
+// the token.
+func (m *Member) fence() {
+	m.fenced = true
+	m.fenceGen++
+	gen := m.fenceGen
+	m.cfg.Clock.After(m.opts.ProbeTimeout+m.opts.Timeout, func() {
+		if m.stopped || m.retired || !m.fenced || gen != m.fenceGen {
+			return
+		}
+		m.fenced = false
+		buf := m.fencedBuf
+		m.fencedBuf = nil
+		for _, b := range buf {
+			if b.msg.E == m.epoch && m.inner != nil {
+				m.inner.Deliver(b.from, b.msg.Inner)
+			} else {
+				m.stats.FencedDropped++
+			}
+		}
+	})
+}
+
+// startRound begins a probe round: census every unsuspected live peer.
+func (m *Member) startRound() {
+	m.probing = true
+	m.round++
+	m.stats.Rounds++
+	m.fence()
+	m.acks = map[mutex.ID]ProbeAck{
+		m.cfg.Self: {Round: m.round, Holds: m.HoldsToken(), InCS: m.owner == ownerInCS},
+	}
+	m.targets = m.targets[:0]
+	for _, id := range m.live {
+		if id == m.cfg.Self || m.suspects[id] {
+			continue
+		}
+		m.targets = append(m.targets, id)
+	}
+	if len(m.targets) == 0 {
+		m.finishRound()
+		return
+	}
+	for _, id := range m.targets {
+		m.cfg.Env.Send(id, Probe{Round: m.round, E: m.epoch})
+	}
+	round := m.round
+	m.cfg.Clock.After(m.opts.ProbeTimeout, func() { m.roundTimeout(round) })
+}
+
+func (m *Member) roundTimeout(round uint32) {
+	if m.stopped || m.retired || m.down() || !m.probing || round != m.round {
+		return
+	}
+	// Unanswered members are suspected; retry with the smaller target set
+	// (the round count is bounded by the membership size).
+	missing := false
+	for _, id := range m.targets {
+		if _, ok := m.acks[id]; !ok {
+			if !m.suspects[id] {
+				m.suspects[id] = true
+				m.stats.Suspicions++
+			}
+			missing = true
+		}
+	}
+	m.probing = false
+	if !m.isLeader() {
+		// Leadership moved (a lower id came back): abandon the round and
+		// let the fence deadline flush the buffer.
+		return
+	}
+	if missing {
+		m.startRound()
+		return
+	}
+	m.probing = true
+	m.finishRound()
+}
+
+func (m *Member) allAcked() bool {
+	for _, id := range m.targets {
+		if _, ok := m.acks[id]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// finishRound turns the census into an epoch announcement.
+func (m *Member) finishRound() {
+	m.probing = false
+	var newLive []mutex.ID
+	for _, id := range m.live {
+		if !m.suspects[id] {
+			newLive = append(newLive, id)
+		}
+	}
+	// With holder preferences configured, every preferred member dead
+	// means the group can no longer be coordinated (for an intra group:
+	// both the primary and the standby are gone) — freeze it even if an
+	// application still holds the token, or the applications would keep
+	// circulating the intra token with nothing coupling them to the inter
+	// level.
+	if len(m.cfg.HolderPrefs) > 0 {
+		prefAlive := false
+		for _, p := range m.cfg.HolderPrefs {
+			if containsID(newLive, p) {
+				prefAlive = true
+				break
+			}
+		}
+		if !prefAlive {
+			m.announce(NewEpoch{
+				E:       Epoch{Seq: m.epoch.Seq + 1, Leader: m.cfg.Self},
+				Members: newLive,
+				Holder:  mutex.None,
+			})
+			return
+		}
+	}
+	// Token position: a member inside (or claiming) the critical section
+	// wins, then an idle holder. Census answers exist for every survivor —
+	// unanswered members were suspected out by roundTimeout.
+	holder := mutex.None
+	for _, id := range newLive {
+		if m.acks[id].InCS {
+			holder = id
+			break
+		}
+	}
+	if holder == mutex.None {
+		for _, id := range newLive {
+			if m.acks[id].Holds {
+				holder = id
+				break
+			}
+		}
+	}
+	if holder == mutex.None {
+		// The token died with a crashed node: regenerate deterministically.
+		if len(m.cfg.HolderPrefs) > 0 {
+			for _, p := range m.cfg.HolderPrefs {
+				if containsID(newLive, p) {
+					holder = p
+					break
+				}
+			}
+		} else if len(newLive) > 0 {
+			holder = newLive[0]
+		}
+		if holder != mutex.None {
+			m.stats.Regenerations++
+		}
+	}
+	m.announce(NewEpoch{
+		E:       Epoch{Seq: m.epoch.Seq + 1, Leader: m.cfg.Self},
+		Members: newLive,
+		Holder:  holder,
+	})
+}
+
+// announce sends an epoch to every survivor and applies it locally.
+func (m *Member) announce(ne NewEpoch) {
+	for _, id := range ne.Members {
+		if id != m.cfg.Self {
+			m.cfg.Env.Send(id, ne)
+		}
+	}
+	m.applyNewEpoch(ne)
+}
+
+// applyNewEpoch installs a strictly greater epoch: new membership, a fresh
+// algorithm instance, owner-state reconciliation, buffered-message flush.
+func (m *Member) applyNewEpoch(ne NewEpoch) {
+	if !m.epoch.Less(ne.E) {
+		m.stats.StaleDropped++
+		return
+	}
+	m.epoch = ne.E
+	m.stats.Epochs++
+	m.live = append([]mutex.ID(nil), ne.Members...)
+	m.holder = ne.Holder
+	m.suspects = make(map[mutex.ID]bool)
+	m.probing = false
+	m.suppressAcquire = false
+	m.releaseOnAcquire = false
+	// The fence dies with its epoch: everything it buffered is stale.
+	m.stats.FencedDropped += int64(len(m.fencedBuf))
+	m.fencedBuf = nil
+	m.fenced = false
+	now := m.cfg.Clock.Now()
+	for _, id := range m.live {
+		m.lastHeard[id] = now
+	}
+	switch {
+	case ne.Holder == mutex.None:
+		m.inner = nil
+		m.frozen = true
+	case !containsID(m.live, m.cfg.Self):
+		// Excluded (a false suspicion): no instance; this member's owner
+		// requests stay recorded but cannot be served.
+		m.inner = nil
+	default:
+		if err := m.buildInner(); err != nil {
+			// The factory accepted the initial shape; a strictly smaller
+			// membership failing is a bug, not a runtime condition.
+			panic(err)
+		}
+		switch m.owner {
+		case ownerInCS:
+			// The owner is inside its critical section: re-seat the token
+			// under it, suppressing the duplicate grant.
+			m.suppressAcquire = true
+			m.inner.Request()
+		case ownerRequested:
+			m.inner.Request()
+		}
+	}
+	// Owner hook before the flush: a standby taking over installs its
+	// callbacks (and possibly an AdoptCS claim) ahead of queued traffic.
+	if m.cfg.OnEpoch != nil {
+		m.cfg.OnEpoch(ne.E, append([]mutex.ID(nil), m.live...), m.holder)
+	}
+	buf := m.future
+	m.future = nil
+	for _, b := range buf {
+		switch {
+		case b.msg.E == m.epoch:
+			if m.inner != nil {
+				m.inner.Deliver(b.from, b.msg.Inner)
+			} else {
+				m.stats.StaleDropped++
+			}
+		case m.epoch.Less(b.msg.E):
+			m.future = append(m.future, b)
+		default:
+			m.stats.StaleDropped++
+		}
+	}
+}
+
+// Deliver implements mutex.Instance (and the handler contract): control
+// messages drive the detector, Wrapped messages reach the current epoch's
+// instance (or are buffered/dropped by epoch).
+func (m *Member) Deliver(from mutex.ID, msg mutex.Message) {
+	if m.stopped || m.retired || m.down() {
+		return
+	}
+	switch t := msg.(type) {
+	case Heartbeat:
+		m.heard(from)
+	case Probe:
+		m.heard(from)
+		if t.E.Less(m.epoch) {
+			m.stats.StaleDropped++
+			return
+		}
+		// Census: fence the epoch and answer.
+		m.fence()
+		m.cfg.Env.Send(from, ProbeAck{Round: t.Round, Holds: m.HoldsToken(), InCS: m.owner == ownerInCS})
+	case ProbeAck:
+		m.heard(from)
+		if !m.probing || t.Round != m.round {
+			return
+		}
+		m.acks[from] = t
+		if m.allAcked() {
+			m.finishRound()
+		}
+	case NewEpoch:
+		m.heard(from)
+		m.applyNewEpoch(t)
+	case Wrapped:
+		m.heard(from)
+		switch {
+		case t.E == m.epoch:
+			if m.fenced {
+				m.fencedBuf = append(m.fencedBuf, bufferedMsg{from: from, msg: t})
+				return
+			}
+			if m.inner == nil {
+				m.stats.StaleDropped++
+				return
+			}
+			m.inner.Deliver(from, t.Inner)
+		case m.epoch.Less(t.E):
+			m.future = append(m.future, bufferedMsg{from: from, msg: t})
+		default:
+			m.stats.StaleDropped++
+		}
+	default:
+		panic(fmt.Sprintf("recovery: member %d of %s received %T", m.cfg.Self, m.cfg.Group, msg))
+	}
+}
+
+func containsID(ids []mutex.ID, id mutex.ID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}

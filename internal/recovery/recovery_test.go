@@ -1,0 +1,345 @@
+package recovery
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gridmutex/internal/check"
+	"gridmutex/internal/core"
+	"gridmutex/internal/des"
+	"gridmutex/internal/faults"
+	"gridmutex/internal/mutex"
+	"gridmutex/internal/simnet"
+	"gridmutex/internal/topology"
+	"gridmutex/internal/trace"
+	"gridmutex/internal/workload"
+)
+
+func TestEpochOrder(t *testing.T) {
+	cases := []struct {
+		a, b Epoch
+		less bool
+	}{
+		{Epoch{0, mutex.None}, Epoch{1, 3}, true},
+		{Epoch{1, 3}, Epoch{0, mutex.None}, false},
+		{Epoch{2, 1}, Epoch{2, 4}, true},
+		{Epoch{2, 4}, Epoch{2, 4}, false},
+		{Epoch{3, 9}, Epoch{4, 0}, true},
+	}
+	for _, c := range cases {
+		if got := c.a.Less(c.b); got != c.less {
+			t.Errorf("%v.Less(%v) = %v, want %v", c.a, c.b, got, c.less)
+		}
+	}
+}
+
+func TestWrappedTransparency(t *testing.T) {
+	inner := Heartbeat{} // any message will do
+	w := Wrapped{E: Epoch{3, 7}, Inner: inner}
+	if w.Kind() != inner.Kind() {
+		t.Errorf("wrapped kind %q, want inner kind %q", w.Kind(), inner.Kind())
+	}
+	if w.Size() != inner.Size()+8 {
+		t.Errorf("wrapped size %d, want inner+8 = %d", w.Size(), inner.Size()+8)
+	}
+}
+
+// rig is one simulated crash-tolerant deployment under workload.
+type rig struct {
+	sim    *des.Simulator
+	net    *simnet.Network
+	grid   *topology.Grid
+	mon    *check.Monitor
+	runner *workload.Runner
+	dep    *Deployment
+	tr     *trace.Tracer
+}
+
+// buildRig assembles a 3-cluster deployment (5 nodes each: primary,
+// standby, 3 apps) running naimi-naimi under a short-period detector.
+// wrapCB, when non-nil, may wrap the workload callbacks per app id.
+func buildRig(t *testing.T, seed int64, wrapCB func(r *rig, id mutex.ID, inner mutex.Callbacks) mutex.Callbacks) *rig {
+	t.Helper()
+	g := topology.Uniform(3, 5, time.Millisecond, 20*time.Millisecond)
+	sim := des.New()
+	tr := trace.New(func() time.Duration { return sim.Now() }, 1<<18)
+	net := simnet.New(sim, g, simnet.Options{Seed: seed, Trace: tr})
+	mon := check.NewMonitor(sim)
+	runner, err := workload.NewRunner(sim, workload.Params{
+		Alpha: 5 * time.Millisecond, Rho: 6, CSPerProcess: 6, Seed: seed,
+	}, mon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &rig{sim: sim, net: net, grid: g, mon: mon, runner: runner, tr: tr}
+	appCB := func(id mutex.ID) mutex.Callbacks {
+		inner := runner.Callbacks(id)
+		if wrapCB == nil {
+			return inner
+		}
+		return wrapCB(r, id, inner)
+	}
+	intra, inter := StaggeredTimeouts(20*time.Millisecond, 10*time.Millisecond)
+	dep, err := Build(net, g, core.Spec{Intra: "naimi", Inter: "naimi"}, appCB, sim, BuildOptions{
+		Intra:    intra,
+		Inter:    inter,
+		NodeDown: net.Down,
+		OnEpoch: func(group string, self mutex.ID, e Epoch, members []mutex.ID, holder mutex.ID) {
+			tr.Record(trace.Custom, self, holder, "epoch "+group+" "+e.String())
+			mon.BeginEpoch(group)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.dep = dep
+	runner.Bind(dep.Apps)
+	runner.Start()
+	return r
+}
+
+// crash fail-stops a node: network, workload and monitor bookkeeping.
+func (r *rig) crash(id mutex.ID) {
+	r.net.Crash(int(id))
+	r.runner.Crash(id)
+	r.mon.Crashed(id)
+	r.tr.Record(trace.Custom, id, mutex.None, "crash")
+}
+
+// drive steps the simulation until the workload completes (heartbeats
+// keep the queue non-empty, so Run would never return), then stops the
+// detectors and drains.
+func (r *rig) drive(t *testing.T) {
+	t.Helper()
+	const limit = 5_000_000
+	for !r.runner.Done() {
+		if r.sim.Processed() > limit {
+			t.Fatalf("workload not done after %d events at %v; outstanding=%d waiting=%d",
+				r.sim.Processed(), r.sim.Now(), r.runner.Outstanding(), r.runner.Waiting())
+		}
+		if !r.sim.Step() {
+			t.Fatal("event queue drained before workload completion")
+		}
+	}
+	r.dep.Stop()
+	if err := r.sim.RunCapped(limit); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (r *rig) assertClean(t *testing.T) {
+	t.Helper()
+	for _, v := range r.mon.Violations() {
+		t.Errorf("violation: %s", v)
+	}
+	r.mon.AssertQuiescent()
+	if !r.mon.Ok() {
+		t.Fatalf("monitor not ok after quiescence check: %v", r.mon.Violations())
+	}
+}
+
+// TestFaultFreeComplete: with no faults the deployment behaves like the
+// plain composition — full completion, no violations, no epochs.
+func TestFaultFreeComplete(t *testing.T) {
+	r := buildRig(t, 1, nil)
+	r.drive(t)
+	r.assertClean(t)
+	if got, want := int64(len(r.runner.Records())), int64(9*6); got != want {
+		t.Fatalf("records %d, want %d", got, want)
+	}
+	if r.mon.Epochs() != 0 {
+		t.Fatalf("fault-free run produced %d epochs", r.mon.Epochs())
+	}
+	for _, sb := range r.dep.Standbys {
+		if sb.Activated() {
+			t.Fatalf("standby %d activated without a crash", sb.ID())
+		}
+	}
+}
+
+// TestAppTokenHolderCrash is acceptance case (a): a non-coordinator token
+// holder crashes inside its critical section; the token is regenerated,
+// every surviving requester completes, and no safety violation occurs.
+func TestAppTokenHolderCrash(t *testing.T) {
+	victim := mutex.ID(2) // first app of cluster 0
+	entries := 0
+	r := buildRig(t, 2, func(r *rig, id mutex.ID, inner mutex.Callbacks) mutex.Callbacks {
+		if id != victim {
+			return inner
+		}
+		return mutex.Callbacks{OnAcquire: func() {
+			inner.OnAcquire()
+			entries++
+			if entries == 2 {
+				r.crash(victim) // fail-stop the instant it re-enters the CS
+			}
+		}}
+	})
+	r.drive(t)
+	r.assertClean(t)
+	if r.mon.CrashExits() != 1 {
+		t.Fatalf("crash exits %d, want 1 (victim died inside the CS)", r.mon.CrashExits())
+	}
+	if r.mon.Epochs() == 0 {
+		t.Fatal("no regeneration epoch after a token-holder crash")
+	}
+	if lat := r.mon.RecoveryLatencies(); len(lat) != 1 || lat[0] <= 0 {
+		t.Fatalf("recovery latencies %v, want one positive sample", lat)
+	}
+	// Survivors: 8 apps × 6 critical sections, plus the victim's 2.
+	if got, want := len(r.runner.Records()), 8*6+2; got != want {
+		t.Fatalf("records %d, want %d", got, want)
+	}
+	for _, sb := range r.dep.Standbys {
+		if sb.Activated() {
+			t.Fatalf("standby %d activated though only an app crashed", sb.ID())
+		}
+	}
+}
+
+// TestCoordinatorCrash is acceptance case (b): the cluster-0 primary —
+// the initial inter token holder — crashes at a fixed virtual instant;
+// its standby takes over both groups, the inter token is recovered, and
+// every application (including cluster 0's) completes its workload.
+func TestCoordinatorCrash(t *testing.T) {
+	r := buildRig(t, 3, nil)
+	sched := faults.Schedule{{At: 50 * time.Millisecond, Node: 0, Kind: faults.Crash}}
+	sched.Apply(r.sim, faults.Actions{
+		Crash:   func(node int) { r.crash(mutex.ID(node)) },
+		Restart: func(node int) { r.net.Restart(node) },
+	})
+	r.drive(t)
+	r.assertClean(t)
+	if got, want := len(r.runner.Records()), 9*6; got != want {
+		t.Fatalf("records %d, want %d", got, want)
+	}
+	if !r.dep.Standbys[0].Activated() {
+		t.Fatal("cluster-0 standby did not take over")
+	}
+	if r.dep.Standbys[1].Activated() || r.dep.Standbys[2].Activated() {
+		t.Fatal("standby of an unaffected cluster activated")
+	}
+	if r.mon.Epochs() < 2 {
+		t.Fatalf("%d epochs; want at least 2 (intra cluster 0 and inter)", r.mon.Epochs())
+	}
+}
+
+// TestCoordinatorCrashWhileIn crashes the primary at the worst moment:
+// exactly when one of its applications enters the critical section, i.e.
+// while the coordinator is IN and holds the inter token. The standby must
+// inherit the inter claim (Member.AdoptCS) so the inter token is
+// regenerated in this cluster, not handed to another cluster while the
+// application is still inside its CS.
+func TestCoordinatorCrashWhileIn(t *testing.T) {
+	primary := mutex.ID(0)
+	crashed := false
+	r := buildRig(t, 4, func(r *rig, id mutex.ID, inner mutex.Callbacks) mutex.Callbacks {
+		if r.grid.ClusterOf(int(id)) != 0 {
+			return inner
+		}
+		return mutex.Callbacks{OnAcquire: func() {
+			inner.OnAcquire()
+			if !crashed {
+				crashed = true
+				r.crash(primary) // the granting coordinator is IN right now
+			}
+		}}
+	})
+	r.drive(t)
+	r.assertClean(t)
+	if !crashed {
+		t.Fatal("trigger never fired")
+	}
+	if got, want := len(r.runner.Records()), 9*6; got != want {
+		t.Fatalf("records %d, want %d", got, want)
+	}
+	if !r.dep.Standbys[0].Activated() {
+		t.Fatal("cluster-0 standby did not take over")
+	}
+	if c := r.dep.Standbys[0].Coordinator(); c == nil {
+		t.Fatal("activated standby has no coordinator")
+	}
+}
+
+// TestFrozenCluster: losing both the primary and the standby of a cluster
+// is not survivable for that cluster — its group freezes (safety over
+// liveness) — but the rest of the grid completes unharmed.
+func TestFrozenCluster(t *testing.T) {
+	r := buildRig(t, 5, nil)
+	// Crash cluster 1's primary and standby before any workload activity
+	// can move the global token there.
+	sched := faults.Schedule{
+		{At: 1 * time.Millisecond, Node: 5, Kind: faults.Crash},
+		{At: 2 * time.Millisecond, Node: 6, Kind: faults.Crash},
+	}
+	sched.Apply(r.sim, faults.Actions{
+		Crash:   func(node int) { r.crash(mutex.ID(node)) },
+		Restart: func(node int) { r.net.Restart(node) },
+	})
+	// Cluster 1's apps can never finish; run for a bounded horizon.
+	r.sim.RunFor(4 * time.Second)
+	r.dep.Stop()
+	if err := r.sim.RunCapped(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range r.mon.Violations() {
+		t.Errorf("violation: %s", v)
+	}
+	// Clusters 0 and 2 complete fully; cluster 1 freezes.
+	perCluster := map[int]int{}
+	for _, rec := range r.runner.Records() {
+		perCluster[rec.Cluster]++
+	}
+	if perCluster[0] != 3*6 || perCluster[2] != 3*6 {
+		t.Fatalf("surviving clusters incomplete: %v", perCluster)
+	}
+	frozen := false
+	for _, m := range r.dep.Members {
+		if strings.HasPrefix(m.Group(), "intra1") && m.Stats().Frozen {
+			frozen = true
+		}
+	}
+	if !frozen {
+		t.Fatal("no cluster-1 member reports a frozen group")
+	}
+}
+
+// TestFaultyRunDeterministic: the same seed renders a byte-identical
+// trace — including crash, regeneration-epoch and recovery events — and
+// identical records; a different seed diverges.
+func TestFaultyRunDeterministic(t *testing.T) {
+	run := func(seed int64) (string, int) {
+		victim := mutex.ID(7) // an app of cluster 1
+		entries := 0
+		r := buildRig(t, seed, func(r *rig, id mutex.ID, inner mutex.Callbacks) mutex.Callbacks {
+			if id != victim {
+				return inner
+			}
+			return mutex.Callbacks{OnAcquire: func() {
+				inner.OnAcquire()
+				entries++
+				if entries == 1 {
+					r.crash(victim)
+				}
+			}}
+		})
+		r.drive(t)
+		r.assertClean(t)
+		return r.tr.Dump(), len(r.runner.Records())
+	}
+	d1, n1 := run(11)
+	d2, n2 := run(11)
+	if d1 != d2 {
+		t.Fatal("same seed produced different traces")
+	}
+	if n1 != n2 {
+		t.Fatalf("same seed produced %d vs %d records", n1, n2)
+	}
+	if !strings.Contains(d1, "crash") || !strings.Contains(d1, "epoch intra1") {
+		t.Fatalf("trace misses crash/epoch events:\n%.600s", d1)
+	}
+	if d3, _ := run(12); d3 == d1 {
+		t.Fatal("different seeds produced identical traces")
+	}
+}

@@ -53,6 +53,11 @@ type Options struct {
 	Backoff float64
 	// MaxRetries bounds retransmissions per packet (default 10).
 	MaxRetries int
+	// OnLinkFailure, when non-nil, is called once per abandoned packet
+	// after the retry budget is exhausted — the hook a recovery layer uses
+	// to learn that a peer is unreachable. It runs outside the network's
+	// lock, on the timer's context.
+	OnLinkFailure func(to mutex.ID, m mutex.Message)
 }
 
 func (o *Options) fill() {
@@ -231,6 +236,9 @@ func (n *Network) scheduleRetransmit(l link, seq uint64, timeout time.Duration, 
 			delete(st.outstanding, seq)
 			n.stats.GivenUp++
 			n.mu.Unlock()
+			if n.opts.OnLinkFailure != nil {
+				n.opts.OnLinkFailure(l.to, m)
+			}
 			return
 		}
 		n.stats.Retransmits++

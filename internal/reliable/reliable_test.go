@@ -1,6 +1,7 @@
 package reliable
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 	"time"
@@ -102,6 +103,102 @@ func TestGivesUpOnDeadLink(t *testing.T) {
 	}
 	if !rel.Quiesced() {
 		t.Error("outstanding state retained after giving up")
+	}
+}
+
+// TestOnLinkFailureCallback: exhausting the retry budget toward a crashed
+// node fires the link-failure hook with the unreachable peer and the
+// abandoned message.
+func TestOnLinkFailureCallback(t *testing.T) {
+	sim := des.New()
+	grid := topology.Single(2, 10*time.Millisecond)
+	inner := simnet.New(sim, grid, simnet.Options{Seed: 4})
+	type failure struct {
+		to mutex.ID
+		m  mutex.Message
+	}
+	var failures []failure
+	rel := Wrap(inner, sim, Options{
+		RTO: 20 * time.Millisecond, MaxRetries: 3,
+		OnLinkFailure: func(to mutex.ID, m mutex.Message) {
+			failures = append(failures, failure{to, m})
+		},
+	})
+	s := &sink{}
+	rel.RegisterAt(0, 0, &sink{})
+	rel.RegisterAt(1, 1, s)
+	inner.Crash(1) // every transmission to node 1 is now discarded
+	rel.Endpoint(0).Send(1, note{seq: 7})
+	if err := sim.RunCapped(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.got) != 0 {
+		t.Fatalf("crashed node received %d messages", len(s.got))
+	}
+	st := rel.Stats()
+	if st.GivenUp != 1 || st.Retransmits != 3 {
+		t.Fatalf("stats %+v, want 1 given up after 3 retransmits", st)
+	}
+	if len(failures) != 1 {
+		t.Fatalf("link-failure hook fired %d times, want 1", len(failures))
+	}
+	if failures[0].to != 1 {
+		t.Errorf("failure peer %d, want 1", failures[0].to)
+	}
+	if m, ok := failures[0].m.(note); !ok || m.seq != 7 {
+		t.Errorf("failure message %#v, want note{seq: 7}", failures[0].m)
+	}
+	if !rel.Quiesced() {
+		t.Error("outstanding state retained after giving up")
+	}
+}
+
+// TestComposedCompletionAtLossRates is the end-to-end loss matrix: the full
+// two-level composition over a lossy simulated grid with the reliable layer
+// and the virtual-time retransmission timer completes every critical
+// section with zero safety violations, at both light and heavy loss.
+func TestComposedCompletionAtLossRates(t *testing.T) {
+	for _, loss := range []float64{0.05, 0.20} {
+		loss := loss
+		t.Run(fmt.Sprintf("loss=%g", loss), func(t *testing.T) {
+			sim := des.New()
+			grid := topology.Uniform(3, 4, time.Millisecond, 16*time.Millisecond)
+			inner := simnet.New(sim, grid, simnet.Options{Loss: loss, Seed: 21})
+			rel := Wrap(inner, sim, Options{RTO: 60 * time.Millisecond})
+			mon := check.NewMonitor(sim)
+			runner, err := workload.NewRunner(sim, workload.Params{
+				Alpha: 5 * time.Millisecond, Rho: 15, Dist: workload.Exponential,
+				CSPerProcess: 8, Seed: 21,
+			}, mon)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := core.BuildComposed(rel, grid, core.Spec{Intra: "naimi", Inter: "naimi"}, runner.Callbacks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runner.Bind(d.Apps)
+			runner.Start()
+			if err := sim.RunCapped(10_000_000); err != nil {
+				t.Fatalf("did not drain: %v (outstanding %d, stats %+v)", err, runner.Outstanding(), rel.Stats())
+			}
+			mon.AssertQuiescent()
+			if !mon.Ok() {
+				t.Fatalf("violations under %g loss: %v", loss, mon.Violations()[0])
+			}
+			if !runner.Done() {
+				t.Fatalf("liveness under %g loss: %d outstanding", loss, runner.Outstanding())
+			}
+			if got, want := len(runner.Records()), runner.ExpectedTotal(); got != want {
+				t.Fatalf("completed %d of %d critical sections", got, want)
+			}
+			if rel.Stats().GivenUp != 0 {
+				t.Errorf("%d packets abandoned at %g loss", rel.Stats().GivenUp, loss)
+			}
+			if !rel.Quiesced() {
+				t.Error("unacknowledged packets remain after drain")
+			}
+		})
 	}
 }
 

@@ -60,6 +60,7 @@ type Network struct {
 	nodeOf   map[mutex.ID]int // logical process -> physical topology node
 	lastAt   map[link]des.Time
 	counters Counters
+	down     map[int]bool // physical nodes currently crashed
 }
 
 // gridModel is the slice of topology.Grid the network needs; an interface
@@ -129,6 +130,50 @@ func (n *Network) Counters() Counters { return n.counters }
 // ResetCounters zeroes the accounting (used to exclude warm-up phases).
 func (n *Network) ResetCounters() { n.counters = Counters{} }
 
+// Crash marks a physical node as failed: from this instant every message
+// sent by or addressed to a process hosted on it is silently discarded —
+// the fail-stop model. Messages already in flight still arrive (they left
+// before the crash); deliveries *to* a dead node are suppressed at
+// delivery time. Crashing a crashed node is a no-op.
+func (n *Network) Crash(node int) {
+	n.checkNode(node)
+	if n.down == nil {
+		n.down = make(map[int]bool)
+	}
+	n.down[node] = true
+}
+
+// Restart clears a node's crashed state: processes hosted on it can send
+// and receive again. The processes' protocol state is whatever the owner
+// rebuilds — the network only restores connectivity.
+func (n *Network) Restart(node int) {
+	n.checkNode(node)
+	delete(n.down, node)
+}
+
+// Down reports whether a physical node is currently crashed.
+func (n *Network) Down(node int) bool {
+	n.checkNode(node)
+	return n.down[node]
+}
+
+// ProcessDown reports whether the physical node hosting logical process id
+// is currently crashed. Unregistered processes panic: asking about them is
+// a wiring bug.
+func (n *Network) ProcessDown(id mutex.ID) bool {
+	node, ok := n.nodeOf[id]
+	if !ok {
+		panic(fmt.Sprintf("simnet: ProcessDown for unregistered process %d", id))
+	}
+	return n.down[node]
+}
+
+func (n *Network) checkNode(node int) {
+	if node < 0 || node >= n.grid.NumNodes() {
+		panic(fmt.Sprintf("simnet: node %d outside topology of %d nodes", node, n.grid.NumNodes()))
+	}
+}
+
 // send implements transmission with latency, jitter, FIFO per ordered link
 // and accounting.
 func (n *Network) send(from, to mutex.ID, m mutex.Message) {
@@ -144,8 +189,20 @@ func (n *Network) send(from, to mutex.ID, m mutex.Message) {
 		panic(fmt.Sprintf("simnet: message %s sent by unregistered process %d", m.Kind(), from))
 	}
 	toNode := n.nodeOf[to]
+	// Fail-stop fault model: a dead sender emits nothing (its still-queued
+	// timers may fire, but nothing leaves the node), and anything addressed
+	// to a dead node vanishes. The guards are plain map lookups on a map
+	// that is nil until the first Crash, so fault-free runs are
+	// byte-identical to builds without the fault model.
+	if len(n.down) > 0 && n.down[fromNode] {
+		return
+	}
 	n.counters.note(m, n.grid.SameCluster(fromNode, toNode))
 	n.opts.Trace.Record(trace.Send, from, to, m.Kind())
+	if len(n.down) > 0 && n.down[toNode] {
+		n.counters.DroppedDead++
+		return
+	}
 	if n.opts.Loss > 0 && n.rng.Float64() < n.opts.Loss {
 		n.counters.Dropped++
 		return
@@ -163,6 +220,11 @@ func (n *Network) send(from, to mutex.ID, m mutex.Message) {
 	}
 	n.lastAt[l] = at
 	n.sim.At(at, func() {
+		// The receiver may have crashed while the message was in flight.
+		if len(n.down) > 0 && n.down[toNode] {
+			n.counters.DroppedDead++
+			return
+		}
 		n.opts.Trace.Record(trace.Deliver, from, to, m.Kind())
 		h.Deliver(from, m)
 	})
@@ -194,6 +256,11 @@ type Counters struct {
 	// Dropped counts messages lost to injected loss (they are included
 	// in the send counts above).
 	Dropped int64
+	// DroppedDead counts messages discarded because their destination
+	// node was crashed at send or delivery time (fail-stop fault model).
+	// Messages a *dead sender* tries to emit are suppressed before any
+	// accounting and appear in no counter.
+	DroppedDead int64
 }
 
 func (c *Counters) note(m mutex.Message, sameCluster bool) {

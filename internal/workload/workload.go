@@ -149,6 +149,7 @@ type appProc struct {
 	app       core.App
 	remaining int
 	waiting   bool // a request is outstanding and not yet granted
+	dead      bool // crashed: all scheduled activity becomes a no-op
 	reqAt     des.Time
 }
 
@@ -237,7 +238,26 @@ func (r *Runner) idle(cluster int) time.Duration {
 	}
 }
 
+// Crash marks the process dead: it abandons any outstanding request, runs
+// no further critical sections, and its already-scheduled closures become
+// no-ops. Unknown ids (coordinators, standbys, fresh hierarchy processes)
+// are ignored so fault injection can target any node. Call Monitor.Crashed
+// separately — the runner does not know whether the process was inside its
+// critical section from the monitor's point of view.
+func (r *Runner) Crash(id mutex.ID) {
+	p, ok := r.procs[id]
+	if !ok {
+		return
+	}
+	p.dead = true
+	p.remaining = 0
+	p.waiting = false
+}
+
 func (r *Runner) request(p *appProc) {
+	if p.dead {
+		return
+	}
 	p.reqAt = r.sim.Now()
 	p.waiting = true
 	p.app.Instance.Request()
@@ -248,6 +268,9 @@ func (r *Runner) onAcquire(id mutex.ID) {
 	if !ok {
 		panic(fmt.Sprintf("workload: acquire for unknown process %d", id))
 	}
+	if p.dead {
+		return // a grant racing a crash: the dead process ignores it
+	}
 	p.waiting = false
 	if r.monitor != nil {
 		r.monitor.Enter(id)
@@ -257,6 +280,9 @@ func (r *Runner) onAcquire(id mutex.ID) {
 		RequestedAt: p.reqAt, AcquiredAt: r.sim.Now(),
 	})
 	r.sim.After(r.params.Alpha, func() {
+		if p.dead {
+			return // crashed inside the CS: no exit, no release
+		}
 		if r.monitor != nil {
 			r.monitor.Exit(id)
 		}

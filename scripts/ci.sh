@@ -18,6 +18,12 @@ go test -race ./...
 echo "==> bounded schedule exploration (GRIDMUTEX_EXPLORE_LONG=1 for exhaustive)"
 go test -race -run 'TestExplore' ./internal/explore/ ./internal/algorithms/ ./internal/core/
 
+echo "==> bounded crash exploration (fail-stop safety under MaxCrashes)"
+go test -race -run 'TestCrash' ./internal/explore/
+
+echo "==> crash-recovery subsystem under -race"
+go test -race ./internal/recovery/ ./internal/faults/
+
 echo "==> parallel harness equivalence under -race"
 go test -race -run 'TestParallel|TestMap' ./internal/harness/ ./internal/fleet/
 
