@@ -163,6 +163,28 @@ func BenchmarkAdaptive(b *testing.B) {
 	}
 }
 
+// BenchmarkComposedSendDeliver measures the composed send→deliver hot
+// path end to end — a full naimi-naimi cell through simnet and the DES
+// queue — and reports raw DES event throughput. This is the number the
+// zero-allocation fast path optimizes; pair it with
+// `gridbench -cpuprofile` to see where the remaining cycles go.
+func BenchmarkComposedSendDeliver(b *testing.B) {
+	scale := benchScale()
+	scale.Rhos = []float64{24}
+	systems := []harness.System{harness.Composed("naimi", "naimi")}
+	var events int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Run(systems, scale, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.Points[0].Events
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+}
+
 // BenchmarkSimulatedCS measures simulator throughput: virtual critical
 // sections executed per second of wall time at paper scale.
 func BenchmarkSimulatedCS(b *testing.B) {

@@ -18,6 +18,7 @@
 //	gridbench -experiment all -scale paper
 //	gridbench -experiment fig4a -scale quick
 //	gridbench -experiment fig4a -scale quick -parallel 8 -json bench.json
+//	gridbench -experiment fig4a -scale quick -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // With -parallel N the harness fans repetitions out over N goroutines;
 // results are byte-identical to a serial run. With -json the command also
@@ -32,6 +33,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -76,7 +79,14 @@ func main() {
 	jsonPath := flag.String("json", "", "write a machine-readable benchmark record to this path (runs a serial reference pass for comparison when -parallel > 1)")
 	quiet := flag.Bool("q", false, "suppress per-cell progress output")
 	list := flag.Bool("list", false, "list available experiments and exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment pass to this path")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken after the experiment pass to this path")
+	gcPercent := flag.Int("gcpercent", 400, "runtime GC target percentage; simulation heaps are small and short-lived, so a target above the default 100 trades a few MB of headroom for far fewer collection cycles")
 	flag.Parse()
+
+	if *gcPercent > 0 {
+		debug.SetGCPercent(*gcPercent)
+	}
 
 	if *list {
 		for _, f := range gridmutex.Figures() {
@@ -118,7 +128,37 @@ func main() {
 		return figs, info, time.Since(start), err
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gridbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "gridbench:", err)
+			os.Exit(1)
+		}
+	}
+
 	figs, info, wall, err := run(*parallel, progress)
+
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, merr := os.Create(*memProfile)
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, "gridbench:", merr)
+			os.Exit(1)
+		}
+		runtime.GC() // settle live-heap accounting before the snapshot
+		if merr := pprof.WriteHeapProfile(f); merr != nil {
+			fmt.Fprintln(os.Stderr, "gridbench:", merr)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gridbench:", err)
 		os.Exit(1)

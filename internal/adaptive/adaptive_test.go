@@ -197,7 +197,8 @@ func (p policyFunc) Recommend(cur string) string { return p.rec(cur) }
 func TestNoPolicyNeverSwitches(t *testing.T) {
 	grid := topology.Uniform(2, 3, time.Millisecond, 10*time.Millisecond)
 	sim := des.New()
-	net := simnet.New(sim, grid, simnet.Options{})
+	// KindCounts: the no-protocol-messages check below reads ByKind.
+	net := simnet.New(sim, grid, simnet.Options{KindCounts: true})
 	runner, err := workload.NewRunner(sim, workload.Params{
 		Alpha: 2 * time.Millisecond, Rho: 10, Dist: workload.Exponential,
 		CSPerProcess: 10, Seed: 3,

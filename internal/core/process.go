@@ -11,6 +11,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"gridmutex/internal/mutex"
 )
@@ -33,6 +34,34 @@ func (e Envelope) Kind() string { return e.Inner.Kind() }
 // Size implements mutex.Message: inner size plus a one-byte level tag.
 func (e Envelope) Size() int { return e.Inner.Size() + 1 }
 
+// pooledEnvelope is an Envelope in a recycled heap box. Sending an
+// Envelope by value boxes it into the mutex.Message interface — one
+// heap allocation per message, which on the simulator hot path was the
+// single largest allocation site. Boxes cycle through a per-process
+// freelist instead: Send fills one, Deliver empties it and puts it back
+// (into the *receiving* process's list, which is where the next send
+// from that process finds it — the box population migrates but stays
+// bounded by the in-flight high-water mark).
+//
+// Recycling is only sound when the transport delivers each sent message
+// at most once and retains no reference afterwards, so it is gated on
+// the raw endpoint advertising that contract (see deliversOnce). Fabrics
+// that duplicate or log messages (algotest.World) and transports that
+// serialize them (livenet's UDP wire) keep receiving plain Envelopes.
+type pooledEnvelope struct {
+	Envelope
+}
+
+// deliversOnce is the capability a raw endpoint implements to opt in to
+// envelope recycling: every message passed to Send is delivered to the
+// registered handler at most once, and no reference to it survives the
+// delivery (drops are fine — an unreturned box is simply collected).
+// Implementers are driven by a single-goroutine event loop (the DES),
+// which is what lets the freelist skip all synchronization.
+type deliversOnce interface {
+	DeliversOnce()
+}
+
 // Process hosts the algorithm instances of one grid process and routes
 // incoming envelopes to the right one. It implements the mutex.Handler
 // contract.
@@ -40,19 +69,28 @@ func (e Envelope) Size() int { return e.Inner.Size() + 1 }
 // Attach and Deliver may run on different goroutines on live transports
 // (the builder attaches while a socket reader is already live, and a
 // permission-based algorithm broadcasts during coordinator boot), so the
-// instance table is guarded; the instances themselves are still only ever
-// entered from their process's serial context.
+// instance table is a copy-on-write slice indexed by level: Attach
+// publishes a fresh copy under the mutex, Deliver loads it with a single
+// atomic read — no lock on the per-message path. The instances
+// themselves are still only ever entered from their process's serial
+// context.
 type Process struct {
-	id  mutex.ID
-	raw mutex.Env
+	id     mutex.ID
+	raw    mutex.Env
+	pooled bool              // raw advertises deliversOnce: envelope boxes recycle
+	boxes  []*pooledEnvelope // freelist; only touched when pooled (single goroutine)
 
-	mu   sync.RWMutex
-	inst map[Level]mutex.Instance
+	mu       sync.Mutex // serializes Attach
+	attached []bool     // guarded by mu; occupancy, since nil instances may attach
+	inst     atomic.Pointer[[]mutex.Instance]
 }
 
 // NewProcess creates a process with the given raw network endpoint.
 func NewProcess(id mutex.ID, raw mutex.Env) *Process {
-	return &Process{id: id, raw: raw, inst: make(map[Level]mutex.Instance)}
+	_, once := raw.(deliversOnce)
+	p := &Process{id: id, raw: raw, pooled: once}
+	p.inst.Store(new([]mutex.Instance))
+	return p
 }
 
 // ID returns the process identifier.
@@ -62,17 +100,28 @@ func (p *Process) ID() mutex.ID { return p.id }
 func (p *Process) Attach(level Level, inst mutex.Instance) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if _, dup := p.inst[level]; dup {
+	if int(level) < len(p.attached) && p.attached[level] {
 		panic(fmt.Sprintf("core: process %d already has an instance at level %d", p.id, level))
 	}
-	p.inst[level] = inst
+	old := *p.inst.Load()
+	n := max(len(old), int(level)+1)
+	next := make([]mutex.Instance, n)
+	copy(next, old)
+	next[level] = inst
+	for len(p.attached) < n {
+		p.attached = append(p.attached, false)
+	}
+	p.attached[level] = true
+	p.inst.Store(&next)
 }
 
 // Instance returns the instance at the level, or nil.
 func (p *Process) Instance(level Level) mutex.Instance {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	return p.inst[level]
+	tbl := *p.inst.Load()
+	if int(level) >= len(tbl) {
+		return nil
+	}
+	return tbl[level]
 }
 
 // Env returns the mutex.Env an instance at the given level must be
@@ -81,19 +130,26 @@ func (p *Process) Env(level Level) mutex.Env {
 	return &levelEnv{p: p, level: level}
 }
 
-// Deliver routes an incoming envelope to the instance at its level.
+// Deliver routes an incoming envelope to the instance at its level. A
+// pooled box is copied out and returned to the pool before the instance
+// runs, so nothing downstream can observe its reuse.
 func (p *Process) Deliver(from mutex.ID, m mutex.Message) {
-	env, ok := m.(Envelope)
-	if !ok {
+	var env Envelope
+	switch v := m.(type) {
+	case Envelope:
+		env = v
+	case *pooledEnvelope:
+		env = v.Envelope
+		v.Inner = nil
+		p.boxes = append(p.boxes, v)
+	default:
 		panic(fmt.Sprintf("core: process %d received bare message %T", p.id, m))
 	}
-	p.mu.RLock()
-	inst, ok := p.inst[env.Level]
-	p.mu.RUnlock()
-	if !ok {
-		panic(fmt.Sprintf("core: process %d has no instance at level %d for %s", p.id, env.Level, m.Kind()))
+	tbl := *p.inst.Load()
+	if int(env.Level) >= len(tbl) || tbl[env.Level] == nil {
+		panic(fmt.Sprintf("core: process %d has no instance at level %d for %s", p.id, env.Level, env.Inner.Kind()))
 	}
-	inst.Deliver(from, env.Inner)
+	tbl[env.Level].Deliver(from, env.Inner)
 }
 
 type levelEnv struct {
@@ -102,6 +158,19 @@ type levelEnv struct {
 }
 
 func (e *levelEnv) Send(to mutex.ID, m mutex.Message) {
+	if e.p.pooled {
+		var pe *pooledEnvelope
+		if n := len(e.p.boxes); n > 0 {
+			pe = e.p.boxes[n-1]
+			e.p.boxes = e.p.boxes[:n-1]
+		} else {
+			pe = new(pooledEnvelope)
+		}
+		pe.Level = e.level
+		pe.Inner = m
+		e.p.raw.Send(to, pe)
+		return
+	}
 	e.p.raw.Send(to, Envelope{Level: e.level, Inner: m})
 }
 

@@ -6,6 +6,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"gridmutex/internal/mutex"
 )
 
 func TestEmptySimulator(t *testing.T) {
@@ -325,5 +327,104 @@ func BenchmarkScheduleAndRun(b *testing.B) {
 			s.At(Time(j%17)*time.Millisecond, func() {})
 		}
 		s.Run()
+	}
+}
+
+// deliverRec records typed deliveries for AtDeliver tests.
+type deliverRec struct {
+	s   *Simulator
+	got []struct {
+		at   Time
+		from mutex.ID
+		m    mutex.Message
+	}
+}
+
+func (d *deliverRec) Deliver(from mutex.ID, m mutex.Message) {
+	d.got = append(d.got, struct {
+		at   Time
+		from mutex.ID
+		m    mutex.Message
+	}{d.s.Now(), from, m})
+}
+
+type testMsg struct{ n int }
+
+func (testMsg) Kind() string { return "test" }
+func (testMsg) Size() int    { return 8 }
+
+// TestAtDeliverOrderingWithClosures interleaves typed delivery events with
+// closure events at mixed instants: both variants must drain in (at, seq)
+// order through the same queue.
+func TestAtDeliverOrderingWithClosures(t *testing.T) {
+	s := New()
+	rec := &deliverRec{s: s}
+	var order []string
+	s.At(2*time.Millisecond, func() { order = append(order, "fn@2") })
+	s.AtDeliver(time.Millisecond, rec, 7, testMsg{1})
+	s.AtDeliver(2*time.Millisecond, rec, 8, testMsg{2}) // same instant as fn@2, scheduled after
+	s.At(time.Millisecond, func() { order = append(order, "fn@1") }) // same instant as first delivery, after
+	s.Run()
+	if len(rec.got) != 2 {
+		t.Fatalf("deliveries %d, want 2", len(rec.got))
+	}
+	if rec.got[0].at != time.Millisecond || rec.got[0].from != 7 || rec.got[0].m.(testMsg).n != 1 {
+		t.Fatalf("first delivery %+v", rec.got[0])
+	}
+	if rec.got[1].at != 2*time.Millisecond || rec.got[1].from != 8 {
+		t.Fatalf("second delivery %+v", rec.got[1])
+	}
+	if len(order) != 2 || order[0] != "fn@1" || order[1] != "fn@2" {
+		t.Fatalf("closure order %v, want [fn@1 fn@2]", order)
+	}
+	if s.Processed() != 4 {
+		t.Fatalf("processed %d, want 4", s.Processed())
+	}
+}
+
+// TestAtDeliverPanics: nil handlers and past instants are never accepted.
+func TestAtDeliverPanics(t *testing.T) {
+	s := New()
+	s.At(time.Millisecond, func() {})
+	s.Run() // now = 1ms
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	rec := &deliverRec{s: s}
+	expectPanic("nil handler", func() { s.AtDeliver(2*time.Millisecond, nil, 0, testMsg{}) })
+	expectPanic("past instant", func() { s.AtDeliver(0, rec, 0, testMsg{}) })
+}
+
+// TestAtDeliverSteadyStateAllocs pins the typed delivery variant: unlike a
+// closure capturing (handler, from, msg), AtDeliver stores everything by
+// value in the queue slice, so the steady state allocates nothing.
+func TestAtDeliverSteadyStateAllocs(t *testing.T) {
+	s := New()
+	rec := &deliverRec{s: s}
+	rec.got = make([]struct {
+		at   Time
+		from mutex.ID
+		m    mutex.Message
+	}, 0, 4096)
+	msg := mutex.Message(testMsg{1}) // box once, outside the measured loop
+	for j := 0; j < 1024; j++ {
+		s.AtDeliver(s.Now()+Time(j%13)*time.Millisecond, rec, 0, msg)
+	}
+	s.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		rec.got = rec.got[:0]
+		for j := 0; j < 1024; j++ {
+			s.AtDeliver(s.Now()+Time(j%13)*time.Millisecond, rec, 0, msg)
+		}
+		s.Run()
+	})
+	if allocs > 1 {
+		t.Errorf("steady-state AtDeliver of 1024 messages allocates %.1f times, want ~0", allocs)
 	}
 }

@@ -330,8 +330,9 @@ type cell struct {
 
 // repPartial is the digest one repetition contributes to its cell:
 // accumulators and counters, never raw records, so a parallel run buffers
-// bounded state per repetition. Only obtain retains samples — they feed
-// the cell's percentiles; every other accumulator stays compact.
+// bounded state per repetition. Only obtain carries a percentile backend —
+// a t-digest sketch, so even million-CS repetitions stay O(compression);
+// every other accumulator stays compact.
 type repPartial struct {
 	obtain     stats.Accumulator
 	phase      []stats.Accumulator
@@ -356,7 +357,7 @@ func digest(scale Scale, out outcome) repPartial {
 		handoffs:   out.handoffs,
 		biasRounds: out.biasRounds,
 	}
-	p.obtain.Retain = true
+	p.obtain.Sketch = true
 	p.phase = make([]stats.Accumulator, len(scale.Phases))
 	for _, r := range out.records {
 		ms := float64(r.Obtaining()) / float64(time.Millisecond)
@@ -380,7 +381,7 @@ func digest(scale Scale, out outcome) repPartial {
 // always in repetition order — never completion order — which is what
 // makes serial and parallel runs byte-identical.
 func mergeCell(c cell, partials []repPartial) (*Point, error) {
-	obtain := stats.Accumulator{Retain: true}
+	obtain := stats.Accumulator{Sketch: true}
 	phase := make([]stats.Accumulator, len(c.scale.Phases))
 	var perProc, perCluster []stats.Accumulator
 	repMeans := make([]float64, 0, len(partials))

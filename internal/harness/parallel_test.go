@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 )
 
 // parallelScale is a small grid (2 systems x 3 rhos x 2 reps = 12 runs)
@@ -150,6 +151,52 @@ func TestScaleValidate(t *testing.T) {
 		}
 		if _, runErr := Run(parallelSystems(), s, nil); runErr == nil {
 			t.Errorf("%s: Run accepted an invalid scale", c.name)
+		}
+	}
+}
+
+// TestParallelSingleCellMatchesSerial: with (cell, repetition) shard
+// fan-out, a single cell with two repetitions must still spread across
+// workers — and stay byte-identical to the serial run.
+func TestParallelSingleCellMatchesSerial(t *testing.T) {
+	runWith := func(workers int) *Result {
+		s := parallelScale()
+		s.Rhos = []float64{12} // one cell
+		s.Workers = workers
+		res, err := Run([]System{Composed("naimi", "martin")}, s, nil)
+		if err != nil {
+			t.Fatalf("Run with %d workers failed: %v", workers, err)
+		}
+		return res
+	}
+	serial, par := runWith(1), runWith(4)
+	if !reflect.DeepEqual(serial.Points, par.Points) {
+		t.Fatal("single-cell multi-worker run differs from serial")
+	}
+}
+
+// TestParallelRecoveryMatchesSerial: the crash-recovery sweep fans out by
+// (period, ρ, repetition) shard; every Workers setting must render the
+// same table.
+func TestParallelRecoveryMatchesSerial(t *testing.T) {
+	runWith := func(workers int) *RecoveryResult {
+		s := recoveryTestScale()
+		s.Workers = workers
+		params := RecoveryParams{Periods: []time.Duration{10 * time.Millisecond, 40 * time.Millisecond}}
+		res, err := RunRecovery(params, s, nil)
+		if err != nil {
+			t.Fatalf("RunRecovery with %d workers failed: %v", workers, err)
+		}
+		return res
+	}
+	serial := runWith(1)
+	for _, workers := range []int{4, -1} {
+		par := runWith(workers)
+		if !reflect.DeepEqual(serial.Points, par.Points) {
+			t.Errorf("workers=%d: recovery points differ from serial", workers)
+		}
+		if serial.Table("t") != par.Table("t") {
+			t.Errorf("workers=%d: recovery table differs from serial", workers)
 		}
 	}
 }

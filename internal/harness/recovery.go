@@ -9,6 +9,7 @@ import (
 	"gridmutex/internal/core"
 	"gridmutex/internal/des"
 	"gridmutex/internal/faults"
+	"gridmutex/internal/fleet"
 	"gridmutex/internal/mutex"
 	"gridmutex/internal/recovery"
 	"gridmutex/internal/simnet"
@@ -75,6 +76,39 @@ func (r *RecoveryResult) Point(period time.Duration, rho float64) *RecoveryPoint
 // detectorKinds are the message kinds the recovery layer adds.
 var detectorKinds = []string{"rec.hb", "rec.probe", "rec.ack", "rec.epoch"}
 
+// recPartial is what one crash-recovery repetition contributes to its
+// (period, ρ) cell: accumulators and scalar counts, never raw records, so
+// the parallel sweep buffers bounded state per repetition.
+type recPartial struct {
+	latency, obtain stats.Accumulator
+	epochs, grants  int64
+	detectorMsgs    int64
+	totalMsgs       int64
+	virtual         time.Duration
+}
+
+// digestRecovery folds one run's outcome into a recPartial.
+func digestRecovery(out recoveryOutcome) recPartial {
+	p := recPartial{
+		epochs:    out.epochs,
+		grants:    int64(len(out.records)),
+		totalMsgs: out.counters.Messages,
+		virtual:   out.elapsed,
+	}
+	p.latency.Sketch = true
+	p.obtain.Sketch = true
+	for _, d := range out.latencies {
+		p.latency.Push(float64(d) / float64(time.Millisecond))
+	}
+	for _, r := range out.records {
+		p.obtain.Push(float64(r.Obtaining()) / float64(time.Millisecond))
+	}
+	for _, k := range detectorKinds {
+		p.detectorMsgs += out.counters.ByKind[k]
+	}
+	return p
+}
+
 // RunRecovery sweeps the heartbeat period across the scale's ρ axis. Every
 // repetition injects one deterministic crash — drawn by faults.OnCSEntry
 // from the repetition's seed — of a token-holding application process (or,
@@ -82,10 +116,11 @@ var detectorKinds = []string{"rec.hb", "rec.probe", "rec.ack", "rec.epoch"}
 // the CS), then measures the crash-to-regeneration latency and the
 // detector's message overhead.
 //
-// Repetitions always run serially on the calling goroutine; Scale.Workers
-// is ignored. The sweep is small (periods × ρ × repetitions of a quick
-// scale) and the serial order keeps the aggregate byte-identical without a
-// merge step.
+// The unit of fan-out is one (period, ρ, repetition) shard: Scale.Workers
+// bounds how many run concurrently, each on a private Simulator, exactly
+// like Run. Per-repetition partials merge in repetition order — never
+// completion order — so the aggregate is byte-identical for every Workers
+// setting.
 func RunRecovery(params RecoveryParams, scale Scale, progress func(string)) (*RecoveryResult, error) {
 	if err := scale.Validate(); err != nil {
 		return nil, err
@@ -97,33 +132,69 @@ func RunRecovery(params RecoveryParams, scale Scale, progress func(string)) (*Re
 		params.Spec = core.Spec{Intra: "naimi", Inter: "naimi"}
 	}
 	res := &RecoveryResult{Params: params, Scale: scale}
+
+	type shard struct {
+		period time.Duration
+		rho    float64
+		rep    int
+	}
+	var shards []shard
+	for _, period := range params.Periods {
+		for _, rho := range scale.Rhos {
+			for rep := 0; rep < scale.Repetitions; rep++ {
+				shards = append(shards, shard{period, rho, rep})
+			}
+		}
+	}
+	runShard := func(s shard) (recPartial, error) {
+		seed := deriveSeed(scale.BaseSeed^int64(s.period), s.rho, s.rep)
+		out, err := runRecoveryOnce(params, scale, s.period, s.rho, seed)
+		if err != nil {
+			return recPartial{}, fmt.Errorf("harness: recovery period=%v rho=%g rep=%d: %w",
+				s.period, s.rho, s.rep, err)
+		}
+		return digestRecovery(out), nil
+	}
+
+	var partials []recPartial
+	if w := scale.Workers; w < 0 || w > 1 {
+		var err error
+		partials, err = fleet.Map(len(shards), w, func(i int) (recPartial, error) {
+			return runShard(shards[i])
+		})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		partials = make([]recPartial, len(shards))
+		for i := range shards {
+			part, err := runShard(shards[i])
+			if err != nil {
+				return nil, err
+			}
+			partials[i] = part
+		}
+	}
+
+	// Merge each cell's repetitions in index order.
+	next := 0
 	for _, period := range params.Periods {
 		for _, rho := range scale.Rhos {
 			p := RecoveryPoint{Period: period, Rho: rho}
-			latency := stats.Accumulator{Retain: true}
-			obtain := stats.Accumulator{Retain: true}
+			latency := stats.Accumulator{Sketch: true}
+			obtain := stats.Accumulator{Sketch: true}
 			var detectorMsgs, totalMsgs int64
 			var virtual time.Duration
 			for rep := 0; rep < scale.Repetitions; rep++ {
-				seed := deriveSeed(scale.BaseSeed^int64(period), rho, rep)
-				out, err := runRecoveryOnce(params, scale, period, rho, seed)
-				if err != nil {
-					return nil, fmt.Errorf("harness: recovery period=%v rho=%g rep=%d: %w",
-						period, rho, rep, err)
-				}
-				for _, d := range out.latencies {
-					latency.Push(float64(d) / float64(time.Millisecond))
-				}
-				for _, r := range out.records {
-					obtain.Push(float64(r.Obtaining()) / float64(time.Millisecond))
-				}
-				p.Epochs += out.epochs
-				p.Grants += int64(len(out.records))
-				for _, k := range detectorKinds {
-					detectorMsgs += out.counters.ByKind[k]
-				}
-				totalMsgs += out.counters.Messages
-				virtual += out.elapsed
+				part := &partials[next]
+				next++
+				latency.Merge(&part.latency)
+				obtain.Merge(&part.obtain)
+				p.Epochs += part.epochs
+				p.Grants += part.grants
+				detectorMsgs += part.detectorMsgs
+				totalMsgs += part.totalMsgs
+				virtual += part.virtual
 			}
 			p.RecoveryLatency = latency.Summarize()
 			p.Obtaining = obtain.Summarize()
@@ -166,7 +237,8 @@ func runRecoveryOnce(params RecoveryParams, scale Scale, period time.Duration, r
 		return recoveryOutcome{}, err
 	}
 	sim := des.New()
-	net := simnet.New(sim, g, simnet.Options{Jitter: scale.Jitter, Seed: seed})
+	// KindCounts: the detector-overhead metric reads ByKind below.
+	net := simnet.New(sim, g, simnet.Options{Jitter: scale.Jitter, Seed: seed, KindCounts: true})
 	mon := check.NewMonitor(sim)
 	runner, err := workload.NewRunner(sim, workload.Params{
 		Alpha: scale.Alpha, Rho: rho, Dist: workload.Exponential,

@@ -1,0 +1,74 @@
+package rng
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestStreamMatchesStdlib pins the package's whole reason to exist: the
+// generator must be bit-identical to math/rand for every seed, across
+// the derived distributions the simulator actually draws from.
+func TestStreamMatchesStdlib(t *testing.T) {
+	for _, seed := range []int64{0, 1, -1, 42, 89482311, -1 << 62, 1<<63 - 1} {
+		ref := rand.New(rand.NewSource(seed))
+		got := New(seed)
+		for i := 0; i < 2000; i++ {
+			switch i % 4 {
+			case 0:
+				if g, w := got.Int63(), ref.Int63(); g != w {
+					t.Fatalf("seed %d draw %d: Int63 = %d, want %d", seed, i, g, w)
+				}
+			case 1:
+				if g, w := got.Uint64(), ref.Uint64(); g != w {
+					t.Fatalf("seed %d draw %d: Uint64 = %d, want %d", seed, i, g, w)
+				}
+			case 2:
+				if g, w := got.Float64(), ref.Float64(); g != w {
+					t.Fatalf("seed %d draw %d: Float64 = %v, want %v", seed, i, g, w)
+				}
+			case 3:
+				if g, w := got.ExpFloat64(), ref.ExpFloat64(); g != w {
+					t.Fatalf("seed %d draw %d: ExpFloat64 = %v, want %v", seed, i, g, w)
+				}
+			}
+		}
+	}
+}
+
+// TestCachedPathMatchesFresh verifies the second request for a seed (the
+// memmove-from-cache path) yields the same stream as the first (the
+// seed-from-scratch path), and that the generators are independent.
+func TestCachedPathMatchesFresh(t *testing.T) {
+	first := New(7001)
+	var want [100]int64
+	for i := range want {
+		want[i] = first.Int63()
+	}
+	second := New(7001)
+	for i := range want {
+		if g := second.Int63(); g != want[i] {
+			t.Fatalf("cached draw %d: %d, want %d", i, g, want[i])
+		}
+	}
+	// Draining first must not have advanced second and vice versa.
+	third := New(7001)
+	if g := third.Int63(); g != want[0] {
+		t.Fatalf("third generator not pristine: %d, want %d", g, want[0])
+	}
+}
+
+func BenchmarkNewFresh(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		// Distinct seeds defeat the cache; measures full seeding. The
+		// cache cap keeps the map bounded during long runs.
+		New(int64(i) | 1<<50)
+	}
+}
+
+func BenchmarkNewCached(b *testing.B) {
+	New(99)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		New(99)
+	}
+}

@@ -8,6 +8,13 @@
 // node index in the topology. One handler is registered per process; the
 // composition layer multiplexes several algorithm instances behind a single
 // process handler.
+//
+// The send→deliver path is the innermost loop of every experiment, so the
+// package keeps it allocation-free and map-free: routing state lives in
+// dense slices indexed by process ID, per-pair latencies and cluster
+// co-membership are precomputed into flat node×node tables, and deliveries
+// are scheduled as typed des events rather than per-message closures (see
+// DESIGN.md §10).
 package simnet
 
 import (
@@ -17,6 +24,7 @@ import (
 
 	"gridmutex/internal/des"
 	"gridmutex/internal/mutex"
+	"gridmutex/internal/rng"
 	"gridmutex/internal/trace"
 )
 
@@ -45,22 +53,46 @@ type Options struct {
 	// Seed). The token algorithms assume reliable channels, so a lossy
 	// network needs the reliable wrapper on top to stay live.
 	Loss float64
+	// KindCounts enables the per-Message.Kind counter map
+	// (Counters.ByKind). It is opt-in because the map insert — a string
+	// hash per message — is the single most expensive accounting step;
+	// the default hot path touches no maps at all.
+	KindCounts bool
 }
-
-// link identifies an ordered sender/receiver pair for FIFO enforcement.
-type link struct{ from, to mutex.ID }
 
 // Network simulates the grid's message fabric.
 type Network struct {
-	sim      *des.Simulator
-	grid     gridModel
-	opts     Options
-	rng      *rand.Rand
-	handlers map[mutex.ID]Handler
-	nodeOf   map[mutex.ID]int // logical process -> physical topology node
-	lastAt   map[link]des.Time
+	sim  *des.Simulator
+	grid gridModel
+	opts Options
+	rng  *rand.Rand
+
+	// Dense per-process routing state, indexed by mutex.ID. The tables
+	// grow on demand because hierarchical deployments register
+	// coordinator processes with IDs beyond the topology's node count.
+	handlers []Handler // nil entry = unregistered
+	nodeOf   []int32   // logical process -> physical node; -1 = unregistered
+	sinks    []*sink   // per-process delivery interposers (typed des events)
+	// lastAt is the flat FIFO watermark, lastAt[from*len(handlers)+to]:
+	// the latest delivery instant scheduled on the ordered link, or -1
+	// when the link has carried nothing yet.
+	lastAt []des.Time
+
+	// Flat node×node tables precomputed from the gridModel once, so the
+	// per-message latency and intra/inter classification are single
+	// indexed loads instead of interface calls into nested slices.
+	nodes   int
+	oneWay  []des.Time
+	sameCl  []bool
+	jittery bool // opts.Jitter > 0
+	lossy   bool // opts.Loss > 0
+
 	counters Counters
-	down     map[int]bool // physical nodes currently crashed
+
+	// Crash state: down is nil until the first Crash, and anyDown caches
+	// len(down-set) > 0 so fault-free runs pay one branch per send.
+	down    []bool
+	anyDown bool
 }
 
 // gridModel is the slice of topology.Grid the network needs; an interface
@@ -77,19 +109,52 @@ func New(sim *des.Simulator, grid gridModel, opts Options) *Network {
 		panic("simnet: negative jitter")
 	}
 	if opts.Loss < 0 || opts.Loss >= 1 {
-		if opts.Loss != 0 {
-			panic("simnet: loss must be in [0, 1)")
+		panic(fmt.Sprintf("simnet: loss %v outside [0, 1)", opts.Loss))
+	}
+	nodes := grid.NumNodes()
+	n := &Network{
+		sim:     sim,
+		grid:    grid,
+		opts:    opts,
+		rng:     rng.New(opts.Seed),
+		nodes:   nodes,
+		oneWay:  make([]des.Time, nodes*nodes),
+		sameCl:  make([]bool, nodes*nodes),
+		jittery: opts.Jitter > 0,
+		lossy:   opts.Loss > 0,
+	}
+	for f := 0; f < nodes; f++ {
+		row := f * nodes
+		for t := 0; t < nodes; t++ {
+			n.oneWay[row+t] = grid.OneWay(f, t)
+			n.sameCl[row+t] = grid.SameCluster(f, t)
 		}
 	}
-	return &Network{
-		sim:      sim,
-		grid:     grid,
-		opts:     opts,
-		rng:      rand.New(rand.NewSource(opts.Seed)),
-		handlers: make(map[mutex.ID]Handler),
-		nodeOf:   make(map[mutex.ID]int),
-		lastAt:   make(map[link]des.Time),
+	n.growProcs(nodes)
+	return n
+}
+
+// growProcs widens the per-process tables to hold at least size IDs,
+// re-striding the FIFO watermark array. Registration happens during
+// deployment wiring, so the rebuild never runs on the message hot path.
+func (n *Network) growProcs(size int) {
+	old := len(n.handlers)
+	if size <= old {
+		return
 	}
+	n.handlers = append(n.handlers, make([]Handler, size-old)...)
+	n.sinks = append(n.sinks, make([]*sink, size-old)...)
+	for i := old; i < size; i++ {
+		n.nodeOf = append(n.nodeOf, -1)
+	}
+	last := make([]des.Time, size*size)
+	for i := range last {
+		last[i] = -1
+	}
+	for f := 0; f < old; f++ {
+		copy(last[f*size:f*size+old], n.lastAt[f*old:(f+1)*old])
+	}
+	n.lastAt = last
 }
 
 // Register installs the handler for process id, hosted on the physical node
@@ -105,17 +170,22 @@ func (n *Network) Register(id mutex.ID, h Handler) {
 // cluster coordinator); latency and intra/inter classification follow the
 // physical node.
 func (n *Network) RegisterAt(id mutex.ID, node int, h Handler) {
-	if node < 0 || node >= n.grid.NumNodes() {
-		panic(fmt.Sprintf("simnet: node %d outside topology of %d nodes", node, n.grid.NumNodes()))
+	if node < 0 || node >= n.nodes {
+		panic(fmt.Sprintf("simnet: node %d outside topology of %d nodes", node, n.nodes))
 	}
-	if _, dup := n.handlers[id]; dup {
+	if id < 0 {
+		panic(fmt.Sprintf("simnet: negative process id %d", id))
+	}
+	if int(id) < len(n.handlers) && n.handlers[id] != nil {
 		panic(fmt.Sprintf("simnet: process %d registered twice", id))
 	}
 	if h == nil {
 		panic("simnet: nil handler")
 	}
+	n.growProcs(int(id) + 1)
 	n.handlers[id] = h
-	n.nodeOf[id] = node
+	n.nodeOf[id] = int32(node)
+	n.sinks[id] = &sink{net: n, to: id, toNode: int32(node)}
 }
 
 // Endpoint returns the mutex.Env bound to process id. The process must be
@@ -138,9 +208,10 @@ func (n *Network) ResetCounters() { n.counters = Counters{} }
 func (n *Network) Crash(node int) {
 	n.checkNode(node)
 	if n.down == nil {
-		n.down = make(map[int]bool)
+		n.down = make([]bool, n.nodes)
 	}
 	n.down[node] = true
+	n.anyDown = true
 }
 
 // Restart clears a node's crashed state: processes hosted on it can send
@@ -148,86 +219,115 @@ func (n *Network) Crash(node int) {
 // rebuilds — the network only restores connectivity.
 func (n *Network) Restart(node int) {
 	n.checkNode(node)
-	delete(n.down, node)
+	if n.down == nil {
+		return
+	}
+	n.down[node] = false
+	n.anyDown = false
+	for _, d := range n.down {
+		if d {
+			n.anyDown = true
+			break
+		}
+	}
 }
 
 // Down reports whether a physical node is currently crashed.
 func (n *Network) Down(node int) bool {
 	n.checkNode(node)
-	return n.down[node]
+	return n.anyDown && n.down[node]
 }
 
 // ProcessDown reports whether the physical node hosting logical process id
 // is currently crashed. Unregistered processes panic: asking about them is
 // a wiring bug.
 func (n *Network) ProcessDown(id mutex.ID) bool {
-	node, ok := n.nodeOf[id]
-	if !ok {
+	if id < 0 || int(id) >= len(n.nodeOf) || n.nodeOf[id] < 0 {
 		panic(fmt.Sprintf("simnet: ProcessDown for unregistered process %d", id))
 	}
-	return n.down[node]
+	return n.anyDown && n.down[n.nodeOf[id]]
 }
 
 func (n *Network) checkNode(node int) {
-	if node < 0 || node >= n.grid.NumNodes() {
-		panic(fmt.Sprintf("simnet: node %d outside topology of %d nodes", node, n.grid.NumNodes()))
+	if node < 0 || node >= n.nodes {
+		panic(fmt.Sprintf("simnet: node %d outside topology of %d nodes", node, n.nodes))
 	}
 }
 
 // send implements transmission with latency, jitter, FIFO per ordered link
-// and accounting.
+// and accounting. The steady-state path allocates nothing: every lookup is
+// an indexed load on a dense slice and the delivery is a typed des event.
 func (n *Network) send(from, to mutex.ID, m mutex.Message) {
 	if m == nil {
 		panic("simnet: nil message")
 	}
-	h, ok := n.handlers[to]
-	if !ok {
+	procs := len(n.handlers)
+	if to < 0 || int(to) >= procs || n.handlers[to] == nil {
 		panic(fmt.Sprintf("simnet: message %s from %d to unregistered process %d", m.Kind(), from, to))
 	}
-	fromNode, ok := n.nodeOf[from]
-	if !ok {
+	if from < 0 || int(from) >= procs || n.nodeOf[from] < 0 {
 		panic(fmt.Sprintf("simnet: message %s sent by unregistered process %d", m.Kind(), from))
 	}
-	toNode := n.nodeOf[to]
+	fromNode, toNode := n.nodeOf[from], n.nodeOf[to]
 	// Fail-stop fault model: a dead sender emits nothing (its still-queued
 	// timers may fire, but nothing leaves the node), and anything addressed
-	// to a dead node vanishes. The guards are plain map lookups on a map
-	// that is nil until the first Crash, so fault-free runs are
-	// byte-identical to builds without the fault model.
-	if len(n.down) > 0 && n.down[fromNode] {
+	// to a dead node vanishes. anyDown is false until the first Crash, so
+	// fault-free runs are byte-identical to builds without the fault model.
+	if n.anyDown && n.down[fromNode] {
 		return
 	}
-	n.counters.note(m, n.grid.SameCluster(fromNode, toNode))
-	n.opts.Trace.Record(trace.Send, from, to, m.Kind())
-	if len(n.down) > 0 && n.down[toNode] {
+	pair := int(fromNode)*n.nodes + int(toNode)
+	n.counters.note(m, n.sameCl[pair], n.opts.KindCounts)
+	if n.opts.Trace != nil {
+		n.opts.Trace.Record(trace.Send, from, to, m.Kind())
+	}
+	if n.anyDown && n.down[toNode] {
 		n.counters.DroppedDead++
 		return
 	}
-	if n.opts.Loss > 0 && n.rng.Float64() < n.opts.Loss {
+	if n.lossy && n.rng.Float64() < n.opts.Loss {
 		n.counters.Dropped++
 		return
 	}
-	delay := n.grid.OneWay(fromNode, toNode)
-	if n.opts.Jitter > 0 {
+	delay := n.oneWay[pair]
+	if n.jittery {
 		delay = time.Duration(float64(delay) * (1 + n.opts.Jitter*n.rng.Float64()))
 	}
 	at := n.sim.Now() + delay
 	// FIFO per ordered pair: never deliver before an earlier message on
-	// the same link.
-	l := link{from, to}
-	if last, ok := n.lastAt[l]; ok && at <= last {
+	// the same link. The watermark is -1 on untouched links, below any
+	// schedulable instant.
+	link := int(from)*procs + int(to)
+	if last := n.lastAt[link]; at <= last {
 		at = last + time.Nanosecond
 	}
-	n.lastAt[l] = at
-	n.sim.At(at, func() {
-		// The receiver may have crashed while the message was in flight.
-		if len(n.down) > 0 && n.down[toNode] {
-			n.counters.DroppedDead++
-			return
-		}
-		n.opts.Trace.Record(trace.Deliver, from, to, m.Kind())
-		h.Deliver(from, m)
-	})
+	n.lastAt[link] = at
+	n.sim.AtDeliver(at, n.sinks[to], from, m)
+}
+
+// sink is the per-destination delivery interposer: it is the handler typed
+// des delivery events dispatch to, and applies the checks that must happen
+// at delivery time (the receiver may have crashed while the message was in
+// flight) plus tracing, before handing the message to the registered
+// process handler. One sink exists per process, so scheduling a delivery
+// stores a pre-existing interface value — no per-message state.
+type sink struct {
+	net    *Network
+	to     mutex.ID
+	toNode int32
+}
+
+// Deliver implements mutex.Handler for the delivery event.
+func (s *sink) Deliver(from mutex.ID, m mutex.Message) {
+	n := s.net
+	if n.anyDown && n.down[s.toNode] {
+		n.counters.DroppedDead++
+		return
+	}
+	if n.opts.Trace != nil {
+		n.opts.Trace.Record(trace.Deliver, from, s.to, m.Kind())
+	}
+	n.handlers[s.to].Deliver(from, m)
 }
 
 // endpoint is the per-process mutex.Env.
@@ -237,6 +337,12 @@ type endpoint struct {
 }
 
 func (e *endpoint) Send(to mutex.ID, m mutex.Message) { e.net.send(e.self, to, m) }
+
+// DeliversOnce advertises the recycling contract core.Process keys on:
+// simnet hands each sent message to its destination handler at most once
+// (drops lose it entirely) and keeps no reference afterwards — the trace
+// and counters read only Kind and Size, at send or delivery time.
+func (e *endpoint) DeliversOnce() {}
 
 // Local schedules f at the current instant; FIFO ordering of the event
 // queue guarantees it runs after the handler that scheduled it.
@@ -251,7 +357,8 @@ type Counters struct {
 	// Inter* count messages crossing a cluster boundary — the quantity
 	// of Figure 4(b).
 	InterMessages, InterBytes int64
-	// ByKind counts messages per Message.Kind.
+	// ByKind counts messages per Message.Kind. It is populated only when
+	// Options.KindCounts is set; the default hot path skips the map.
 	ByKind map[string]int64
 	// Dropped counts messages lost to injected loss (they are included
 	// in the send counts above).
@@ -263,7 +370,7 @@ type Counters struct {
 	DroppedDead int64
 }
 
-func (c *Counters) note(m mutex.Message, sameCluster bool) {
+func (c *Counters) note(m mutex.Message, sameCluster, kinds bool) {
 	size := int64(m.Size())
 	c.Messages++
 	c.Bytes += size
@@ -274,8 +381,10 @@ func (c *Counters) note(m mutex.Message, sameCluster bool) {
 		c.InterMessages++
 		c.InterBytes += size
 	}
-	if c.ByKind == nil {
-		c.ByKind = make(map[string]int64)
+	if kinds {
+		if c.ByKind == nil {
+			c.ByKind = make(map[string]int64)
+		}
+		c.ByKind[m.Kind()]++
 	}
-	c.ByKind[m.Kind()]++
 }

@@ -64,7 +64,7 @@ func TestLatencyIntraVsInter(t *testing.T) {
 }
 
 func TestCounters(t *testing.T) {
-	sim, n, _, _ := twoClusterNet(t, Options{})
+	sim, n, _, _ := twoClusterNet(t, Options{KindCounts: true})
 	n.Register(1, HandlerFunc(func(mutex.ID, mutex.Message) {}))
 	ep1 := n.Endpoint(1)
 	ep1.Send(0, ping{"a", 10})
@@ -87,6 +87,24 @@ func TestCounters(t *testing.T) {
 	n.ResetCounters()
 	if got := n.Counters(); got.Messages != 0 || got.ByKind != nil {
 		t.Errorf("ResetCounters left %+v", got)
+	}
+}
+
+// Without KindCounts the hot path must touch no maps: ByKind stays nil
+// while the scalar counters still accumulate.
+func TestCountersByKindOptIn(t *testing.T) {
+	sim, n, _, _ := twoClusterNet(t, Options{})
+	n.Register(1, HandlerFunc(func(mutex.ID, mutex.Message) {}))
+	ep1 := n.Endpoint(1)
+	ep1.Send(0, ping{"a", 10})
+	ep1.Send(2, ping{"b", 100})
+	sim.Run()
+	c := n.Counters()
+	if c.Messages != 2 || c.Bytes != 110 {
+		t.Errorf("total = %d msgs / %d bytes, want 2 / 110", c.Messages, c.Bytes)
+	}
+	if c.ByKind != nil {
+		t.Errorf("ByKind = %v, want nil without KindCounts", c.ByKind)
 	}
 }
 
@@ -229,16 +247,26 @@ func TestLossInjection(t *testing.T) {
 }
 
 func TestLossValidation(t *testing.T) {
-	sim := des.New()
 	g := topology.Single(1, time.Millisecond)
-	for _, bad := range []float64{-0.1, 1.0, 1.5} {
+	cases := []struct {
+		loss float64
+		ok   bool
+	}{
+		{0, true},
+		{0.5, true},
+		{0.999, true},
+		{1.0, false},
+		{1.5, false},
+		{-0.1, false},
+	}
+	for _, c := range cases {
 		func() {
 			defer func() {
-				if recover() == nil {
-					t.Errorf("loss %v accepted", bad)
+				if r := recover(); (r == nil) != c.ok {
+					t.Errorf("loss %v: panic=%v, want ok=%v", c.loss, r, c.ok)
 				}
 			}()
-			New(sim, g, Options{Loss: bad})
+			New(des.New(), g, Options{Loss: c.loss})
 		}()
 	}
 }
@@ -260,4 +288,58 @@ func TestRegisterAtColocation(t *testing.T) {
 	if n.Counters().InterMessages != 0 {
 		t.Fatal("co-located traffic misclassified as inter-cluster")
 	}
+}
+
+// TestSendDeliverAllocs pins the steady-state send→deliver path: once the
+// event queue has grown to its high-water mark, sending a message through
+// the network and delivering it allocates at most one heap object per
+// message (the interface boxing of the message value itself when the
+// caller constructs it; the transport adds nothing).
+func TestSendDeliverAllocs(t *testing.T) {
+	sim := des.New()
+	g := topology.Uniform(2, 2, 2*time.Millisecond, 20*time.Millisecond)
+	n := New(sim, g, Options{Jitter: 0.2, Seed: 3})
+	for id := mutex.ID(0); id < 4; id++ {
+		n.Register(id, HandlerFunc(func(mutex.ID, mutex.Message) {}))
+	}
+	ep := n.Endpoint(0)
+	msg := mutex.Message(ping{"p", 16}) // box once, outside the measured loop
+	// Warm the queue's backing array.
+	for i := 0; i < 256; i++ {
+		ep.Send(mutex.ID(i%4), msg)
+	}
+	sim.Run()
+	const batch = 256
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < batch; i++ {
+			ep.Send(mutex.ID(i%4), msg)
+		}
+		sim.Run()
+	})
+	if perMsg := allocs / batch; perMsg > 1 {
+		t.Errorf("send→deliver allocates %.2f objects per message, want <= 1", perMsg)
+	}
+}
+
+// BenchmarkSendDeliver measures the raw transport hot path: one send and
+// its delivery through the simulator, jitter enabled (the realistic
+// configuration used by every experiment).
+func BenchmarkSendDeliver(b *testing.B) {
+	sim := des.New()
+	g := topology.Uniform(2, 2, 2*time.Millisecond, 20*time.Millisecond)
+	n := New(sim, g, Options{Jitter: 0.2, Seed: 3})
+	for id := mutex.ID(0); id < 4; id++ {
+		n.Register(id, HandlerFunc(func(mutex.ID, mutex.Message) {}))
+	}
+	ep := n.Endpoint(0)
+	msg := mutex.Message(ping{"p", 16})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ep.Send(mutex.ID(i%4), msg)
+		if i%256 == 255 {
+			sim.Run()
+		}
+	}
+	sim.Run()
 }

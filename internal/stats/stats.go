@@ -11,13 +11,21 @@ import (
 
 // Accumulator aggregates samples with Welford's online algorithm, so
 // million-sample runs need no buffering. By default individual samples
-// are discarded (compact mode); set Retain to keep them for percentile
-// queries — only the accumulators that actually serve percentiles should
-// pay that memory.
+// are discarded (compact mode). Two percentile backends are available:
+// Sketch (the default choice of the experiment harness) feeds a
+// bounded-memory t-digest, and Retain keeps every raw sample for exact
+// order statistics — only accumulators that actually serve percentiles
+// should pay either cost. When both are set, Percentile answers from the
+// exact retained samples.
 type Accumulator struct {
-	// Retain keeps every pushed sample so Percentile works. The zero
+	// Retain keeps every pushed sample so Percentile is exact. The zero
 	// value is compact: constant memory, no percentiles.
 	Retain bool
+	// Sketch feeds every pushed sample into a mergeable t-digest
+	// (DefaultCompression), bounding memory at O(compression) while
+	// keeping P50/P95/P99 within a fraction of a percent on smooth
+	// distributions. Set it, like Retain, before the first Push.
+	Sketch bool
 
 	n        int64
 	mean, m2 float64
@@ -28,6 +36,7 @@ type Accumulator struct {
 	// Push or Merge invalidated that order.
 	samples []float64
 	sorted  bool
+	digest  *TDigest
 }
 
 // Push adds one sample.
@@ -49,6 +58,12 @@ func (a *Accumulator) Push(x float64) {
 	if a.Retain {
 		a.samples = append(a.samples, x)
 		a.sorted = false
+	}
+	if a.Sketch {
+		if a.digest == nil {
+			a.digest = NewTDigest(DefaultCompression)
+		}
+		a.digest.Add(x)
 	}
 }
 
@@ -84,19 +99,23 @@ func (a *Accumulator) Min() float64 { return a.min }
 // Max returns the largest sample, or 0 with no samples.
 func (a *Accumulator) Max() float64 { return a.max }
 
-// Percentile returns the p-quantile (0 <= p <= 1) by linear interpolation;
-// it panics if sample retention was not enabled or p is out of range. The
-// first query after new data sorts the retained samples in place; further
-// queries reuse that order.
+// Percentile returns the p-quantile (0 <= p <= 1); it panics if neither
+// percentile backend was enabled or p is out of range. With Retain the
+// answer is exact — the first query after new data sorts the retained
+// samples in place, further queries reuse that order. Otherwise the
+// t-digest sketch answers by interpolation.
 func (a *Accumulator) Percentile(p float64) float64 {
-	if !a.Retain {
-		panic("stats: percentiles unavailable without Retain")
+	if !a.Retain && !a.Sketch {
+		panic("stats: percentiles unavailable without Retain or Sketch")
 	}
 	if p < 0 || p > 1 {
 		panic(fmt.Sprintf("stats: percentile %v out of [0,1]", p))
 	}
 	if a.n == 0 {
 		return 0
+	}
+	if !a.Retain {
+		return a.digest.Quantile(p)
 	}
 	if !a.sorted {
 		sort.Float64s(a.samples)
@@ -125,14 +144,15 @@ type Summary struct {
 	PercentilesComputed bool
 }
 
-// Summarize snapshots the accumulator. With retention enabled it sorts
-// the samples (at most once — see Percentile) and fills in P50/P95/P99.
+// Summarize snapshots the accumulator. With a percentile backend enabled
+// (Retain sorts the samples at most once — see Percentile; Sketch queries
+// the digest) it fills in P50/P95/P99.
 func (a *Accumulator) Summarize() Summary {
 	s := Summary{
 		N: a.n, Mean: a.Mean(), Std: a.Std(), RelStd: a.RelStd(),
 		Min: a.min, Max: a.max,
 	}
-	if a.Retain && a.n > 0 {
+	if (a.Retain || a.Sketch) && a.n > 0 {
 		s.P50 = a.Percentile(0.50)
 		s.P95 = a.Percentile(0.95)
 		s.P99 = a.Percentile(0.99)
@@ -141,16 +161,17 @@ func (a *Accumulator) Summarize() Summary {
 	return s
 }
 
-// Merge folds other into a (Chan et al. parallel variance update). Samples
-// are kept only when both sides retain them; merging a compact accumulator
-// into a retaining one drops retention, since the combined sample set
-// would be incomplete.
+// Merge folds other into a (Chan et al. parallel variance update). Each
+// percentile backend survives only when both sides carry it: merging a
+// compact accumulator into a retaining (or sketching) one drops that
+// backend, since the combined sample set would be incomplete.
 func (a *Accumulator) Merge(other *Accumulator) {
 	if other.n == 0 {
 		return
 	}
 	if a.n == 0 {
 		retain := a.Retain && other.Retain
+		sketch := a.Sketch && other.Sketch
 		*a = *other
 		a.Retain = retain
 		if retain {
@@ -158,6 +179,12 @@ func (a *Accumulator) Merge(other *Accumulator) {
 			a.sorted = false
 		} else {
 			a.samples = nil
+		}
+		a.Sketch = sketch
+		if sketch {
+			a.digest = other.digest.Clone()
+		} else {
+			a.digest = nil
 		}
 		return
 	}
@@ -179,6 +206,12 @@ func (a *Accumulator) Merge(other *Accumulator) {
 	} else {
 		a.Retain = false
 		a.samples = nil
+	}
+	if a.Sketch && other.Sketch {
+		a.digest.Merge(other.digest)
+	} else {
+		a.Sketch = false
+		a.digest = nil
 	}
 }
 
@@ -209,20 +242,25 @@ var tCritical95 = []float64{
 }
 
 // CI95Half returns the half-width of the two-sided 95% confidence interval
-// of the mean of xs (Student-t); it is 0 with fewer than two samples.
+// of the mean of xs (Student-t); it is 0 with fewer than two samples. The
+// variance is a direct Welford recurrence over the slice — no Accumulator
+// is constructed.
 func CI95Half(xs []float64) float64 {
 	n := len(xs)
 	if n < 2 {
 		return 0
 	}
-	var a Accumulator
-	for _, x := range xs {
-		a.Push(x)
+	var mean, m2 float64
+	for i, x := range xs {
+		delta := x - mean
+		mean += delta / float64(i+1)
+		m2 += delta * (x - mean)
 	}
+	std := math.Sqrt(m2 / float64(n-1))
 	dof := n - 1
 	t := 1.96
-	if dof <= len(tCritical95) {
+	if dof-1 < len(tCritical95) {
 		t = tCritical95[dof-1]
 	}
-	return t * a.Std() / math.Sqrt(float64(n))
+	return t * std / math.Sqrt(float64(n))
 }

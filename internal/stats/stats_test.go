@@ -373,3 +373,141 @@ func TestCI95Half(t *testing.T) {
 		t.Fatalf("large-n CI = %v", got)
 	}
 }
+
+// TestMergeSortedFlagInvalidation: a percentile query sorts the retained
+// samples; a subsequent Merge must invalidate that order so the next
+// query re-sorts over the combined set.
+func TestMergeSortedFlagInvalidation(t *testing.T) {
+	a := Accumulator{Retain: true}
+	for _, x := range []float64{5, 1, 9} {
+		a.Push(x)
+	}
+	if got := a.Percentile(0.5); got != 5 { // sorts [1 5 9]
+		t.Fatalf("median before merge = %v", got)
+	}
+	b := Accumulator{Retain: true}
+	for _, x := range []float64{2, 3} {
+		b.Push(x)
+	}
+	a.Merge(&b) // appends [2 3] after the sorted run
+	if got := a.Percentile(0.5); got != 3 { // must re-sort [1 2 3 5 9]
+		t.Fatalf("median after merge = %v, want 3", got)
+	}
+	// Push after a query must invalidate too.
+	a.Push(0)
+	if got := a.Percentile(0); got != 0 {
+		t.Fatalf("min percentile after push = %v, want 0", got)
+	}
+}
+
+// TestSketchMode: the t-digest backend answers percentiles without
+// retaining samples, and the mode survives only sketch↔sketch merges.
+func TestSketchMode(t *testing.T) {
+	a := Accumulator{Sketch: true}
+	for i := 1; i <= 1000; i++ {
+		a.Push(float64(i))
+	}
+	if a.samples != nil {
+		t.Fatal("sketch mode retained raw samples")
+	}
+	if got := a.Percentile(0.5); relErr(got, 500.5) > 0.01 {
+		t.Fatalf("sketch median = %v, want ~500.5", got)
+	}
+	s := a.Summarize()
+	if !s.PercentilesComputed || s.P50 == 0 || s.P99 == 0 {
+		t.Fatalf("Summarize skipped sketch percentiles: %+v", s)
+	}
+
+	// sketch ← compact drops the sketch (incomplete sample set).
+	var compact Accumulator
+	compact.Push(7)
+	b := Accumulator{Sketch: true}
+	b.Push(1)
+	b.Merge(&compact)
+	if b.Sketch || b.digest != nil {
+		t.Fatal("merge with a compact side kept the sketch")
+	}
+
+	// compact ← sketch must not resurrect sketching either.
+	var c Accumulator
+	d := Accumulator{Sketch: true}
+	d.Push(3)
+	c.Merge(&d)
+	if c.Sketch || c.digest != nil {
+		t.Fatal("merge into compact accumulator kept a digest")
+	}
+	if c.N() != 1 || c.Mean() != 3 {
+		t.Fatal("moments lost in compact ← sketch merge")
+	}
+
+	// sketch ← sketch keeps answering, and the empty-destination path
+	// deep-copies: growing the source later must not leak into the copy.
+	var e Accumulator
+	e.Sketch = true
+	f := Accumulator{Sketch: true}
+	for i := 0; i < 100; i++ {
+		f.Push(float64(i))
+	}
+	e.Merge(&f)
+	before := e.Percentile(0.5)
+	for i := 0; i < 100; i++ {
+		f.Push(1e6)
+	}
+	if got := e.Percentile(0.5); got != before {
+		t.Fatalf("merge aliased the source digest: %v then %v", before, got)
+	}
+	g := Accumulator{Sketch: true}
+	for i := 100; i < 200; i++ {
+		g.Push(float64(i))
+	}
+	e.Merge(&g)
+	if e.N() != 200 {
+		t.Fatalf("merged N = %d", e.N())
+	}
+	if got := e.Percentile(0.5); relErr(got, 99.5) > 0.02 {
+		t.Fatalf("merged sketch median = %v, want ~99.5", got)
+	}
+
+	// Retain wins when both backends are on: percentiles are exact.
+	h := Accumulator{Retain: true, Sketch: true}
+	for _, x := range []float64{9, 1, 5} {
+		h.Push(x)
+	}
+	if got := h.Percentile(0.5); got != 5 {
+		t.Fatalf("Retain+Sketch median = %v, want exact 5", got)
+	}
+}
+
+// TestCI95HalfBoundary pins the Student-t table edge: dof 30 is the last
+// table entry (2.042), dof 31 falls back to the normal value 1.96.
+func TestCI95HalfBoundary(t *testing.T) {
+	std := func(xs []float64) float64 {
+		var mean float64
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(len(xs))
+		var m2 float64
+		for _, x := range xs {
+			m2 += (x - mean) * (x - mean)
+		}
+		return math.Sqrt(m2 / float64(len(xs)-1))
+	}
+	mk := func(n int) []float64 {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(i % 3)
+		}
+		return xs
+	}
+	at := func(n int, tcrit float64) {
+		t.Helper()
+		xs := mk(n)
+		want := tcrit * std(xs) / math.Sqrt(float64(n))
+		if got := CI95Half(xs); !almostEqual(got, want, 1e-9) {
+			t.Errorf("n=%d: CI %v, want %v (t=%v)", n, got, want, tcrit)
+		}
+	}
+	at(31, 2.042) // dof 30: last table entry
+	at(32, 1.96)  // dof 31: normal approximation
+}

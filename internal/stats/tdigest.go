@@ -1,0 +1,248 @@
+// t-digest: a mergeable, bounded-memory quantile sketch (Dunning &
+// Ertl's merging variant). The harness uses it as the default percentile
+// backend so million-CS runs keep constant memory per accumulator; exact
+// retention (Accumulator.Retain) remains available as the fallback when
+// exact order statistics matter more than memory.
+//
+// Determinism: every operation is a fixed sequence of float64 operations
+// over deterministically ordered inputs (buffers are sorted before each
+// compaction, centroid lists are kept sorted by mean), so equal push
+// sequences — and equal merge orders — produce bit-identical digests.
+// The parallel harness merges per-repetition digests strictly in
+// repetition order, which is what keeps Workers=1 and Workers=N
+// byte-identical.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DefaultCompression is the centroid budget parameter δ used by
+// accumulators that enable Sketch mode. Memory is O(δ); quantile error
+// concentrates near the median at roughly q(1-q)/δ of rank, far below 1%
+// relative value error on the latency distributions the harness digests.
+const DefaultCompression = 400
+
+// TDigest is a mergeable quantile sketch. The zero value is not usable;
+// construct with NewTDigest.
+type TDigest struct {
+	compression float64
+	// Merged centroids, sorted by mean.
+	means   []float64
+	weights []float64
+	total   float64 // sum of weights
+	// Unmerged points buffered until the next compaction.
+	buf      []float64
+	min, max float64
+	count    int64
+	// Spare centroid arrays mergeSorted rebuilds into; they swap with
+	// means/weights after each pass so steady-state compactions reuse
+	// the same two backing arrays instead of allocating fresh ones.
+	scratchM []float64
+	scratchW []float64
+}
+
+// NewTDigest returns an empty digest with the given compression δ (the
+// maximum number of retained centroids is a small multiple of δ).
+func NewTDigest(compression float64) *TDigest {
+	if compression < 10 {
+		panic(fmt.Sprintf("stats: t-digest compression %v too small", compression))
+	}
+	return &TDigest{compression: compression}
+}
+
+// Add inserts one sample.
+func (t *TDigest) Add(x float64) {
+	if t.count == 0 {
+		t.min, t.max = x, x
+	} else {
+		if x < t.min {
+			t.min = x
+		}
+		if x > t.max {
+			t.max = x
+		}
+	}
+	t.count++
+	t.buf = append(t.buf, x)
+	if len(t.buf) >= int(8*t.compression) {
+		t.compact()
+	}
+}
+
+// N returns the number of samples added.
+func (t *TDigest) N() int64 { return t.count }
+
+// Min and Max return the exact extremes (tracked outside the centroids).
+func (t *TDigest) Min() float64 { return t.min }
+func (t *TDigest) Max() float64 { return t.max }
+
+// k is the scale function k1(q) = δ/(2π)·asin(2q−1): it allots small
+// centroids near both tails, which is what keeps P95/P99 accurate.
+func (t *TDigest) k(q float64) float64 {
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	return t.compression / (2 * math.Pi) * math.Asin(2*q-1)
+}
+
+// kInv inverts k1.
+func (t *TDigest) kInv(k float64) float64 {
+	q := (math.Sin(2*math.Pi*k/t.compression) + 1) / 2
+	if q < 0 {
+		return 0
+	}
+	if q > 1 {
+		return 1
+	}
+	return q
+}
+
+// compact folds the buffer into the centroid list with the standard
+// single-pass merge: walk all points in mean order, greedily growing the
+// current centroid while it stays within the k-size budget of its
+// quantile range.
+func (t *TDigest) compact() {
+	if len(t.buf) == 0 {
+		return
+	}
+	sort.Float64s(t.buf)
+	t.mergeSorted(t.buf, nil)
+	t.buf = t.buf[:0]
+}
+
+// mergeSorted merges the existing centroids with a sorted stream of extra
+// points — xs with unit weight (ws nil), or weighted centroids ws[i] —
+// rebuilding the centroid list in one pass.
+func (t *TDigest) mergeSorted(xs []float64, ws []float64) {
+	total := t.total + float64(len(xs))
+	if ws != nil {
+		total = t.total
+		for _, w := range ws {
+			total += w
+		}
+	}
+	oldMeans, oldWeights := t.means, t.weights
+	outMeans := t.scratchM[:0]
+	outWeights := t.scratchW[:0]
+
+	// next pulls the smallest-mean point from the two sorted streams;
+	// ties prefer the existing centroids, a fixed deterministic order.
+	i, j := 0, 0
+	next := func() (float64, float64) {
+		wj := 1.0
+		if ws != nil && j < len(ws) {
+			wj = ws[j]
+		}
+		if i < len(oldMeans) && (j >= len(xs) || oldMeans[i] <= xs[j]) {
+			m, w := oldMeans[i], oldWeights[i]
+			i++
+			return m, w
+		}
+		m := xs[j]
+		j++
+		return m, wj
+	}
+
+	n := len(oldMeans) + len(xs)
+	curMean, curWeight := next()
+	wSoFar := 0.0
+	limit := total * t.kInv(t.k(0)+1)
+	for p := 1; p < n; p++ {
+		m, w := next()
+		if wSoFar+curWeight+w <= limit {
+			// Grow the current centroid.
+			curWeight += w
+			curMean += w * (m - curMean) / curWeight
+			continue
+		}
+		outMeans = append(outMeans, curMean)
+		outWeights = append(outWeights, curWeight)
+		wSoFar += curWeight
+		limit = total * t.kInv(t.k(wSoFar/total)+1)
+		curMean, curWeight = m, w
+	}
+	outMeans = append(outMeans, curMean)
+	outWeights = append(outWeights, curWeight)
+	t.scratchM, t.scratchW = oldMeans, oldWeights
+	t.means, t.weights, t.total = outMeans, outWeights, total
+}
+
+// Merge folds other into t. Both digests are compacted first; other is
+// unchanged.
+func (t *TDigest) Merge(other *TDigest) {
+	if other == nil || other.count == 0 {
+		return
+	}
+	other.compact()
+	t.compact()
+	if t.count == 0 {
+		t.min, t.max = other.min, other.max
+	} else {
+		if other.min < t.min {
+			t.min = other.min
+		}
+		if other.max > t.max {
+			t.max = other.max
+		}
+	}
+	t.count += other.count
+	t.mergeSorted(other.means, other.weights)
+}
+
+// Quantile returns the estimated q-quantile (0 <= q <= 1) by linear
+// interpolation between centroid centers, anchored at the exact min and
+// max. It panics on an out-of-range q and returns 0 on an empty digest.
+func (t *TDigest) Quantile(q float64) float64 {
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v out of [0,1]", q))
+	}
+	if t.count == 0 {
+		return 0
+	}
+	t.compact()
+	means, weights := t.means, t.weights
+	if len(means) == 1 {
+		return means[0]
+	}
+	target := q * t.total
+	// Cumulative weight at the center of centroid i.
+	cum := 0.0
+	prevCenter, prevMean := 0.0, t.min
+	for i := range means {
+		center := cum + weights[i]/2
+		if target < center {
+			if center == prevCenter {
+				return means[i]
+			}
+			frac := (target - prevCenter) / (center - prevCenter)
+			return prevMean + frac*(means[i]-prevMean)
+		}
+		cum += weights[i]
+		prevCenter, prevMean = center, means[i]
+	}
+	// Beyond the last centroid center: interpolate toward the exact max.
+	if t.total == prevCenter {
+		return t.max
+	}
+	frac := (target - prevCenter) / (t.total - prevCenter)
+	return prevMean + frac*(t.max-prevMean)
+}
+
+// Centroids returns the number of retained centroids plus buffered points
+// — the sketch's memory footprint in entries.
+func (t *TDigest) Centroids() int { return len(t.means) + len(t.buf) }
+
+// Clone returns an independent deep copy.
+func (t *TDigest) Clone() *TDigest {
+	c := *t
+	c.means = append([]float64(nil), t.means...)
+	c.weights = append([]float64(nil), t.weights...)
+	c.buf = append([]float64(nil), t.buf...)
+	c.scratchM, c.scratchW = nil, nil // never share backing arrays
+	return &c
+}

@@ -1,0 +1,254 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// exactQuantile is the same linear-interpolation order statistic the
+// Retain backend computes.
+func exactQuantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// relErr is |got-want| / max(|want|, 1e-12).
+func relErr(got, want float64) float64 {
+	d := math.Abs(want)
+	if d < 1e-12 {
+		d = 1e-12
+	}
+	return math.Abs(got-want) / d
+}
+
+// TestTDigestAccuracyAdversarial checks the sketch against exact order
+// statistics on distributions chosen to stress it: heavy tails, extreme
+// skew, discrete clumps, pre-sorted input (worst case for naive
+// streaming summaries) and a bimodal gap.
+func TestTDigestAccuracyAdversarial(t *testing.T) {
+	const n = 50_000
+	rng := rand.New(rand.NewSource(99))
+	dists := map[string]func() []float64{
+		"uniform": func() []float64 {
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = rng.Float64() * 100
+			}
+			return xs
+		},
+		"exponential": func() []float64 {
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = rng.ExpFloat64() * 10
+			}
+			return xs
+		},
+		"lognormal": func() []float64 {
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = math.Exp(rng.NormFloat64()*1.5 + 2)
+			}
+			return xs
+		},
+		"sorted-ascending": func() []float64 {
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = float64(i)
+			}
+			return xs
+		},
+		"bimodal-gap": func() []float64 {
+			xs := make([]float64, n)
+			for i := range xs {
+				if i%2 == 0 {
+					xs[i] = 1 + rng.Float64()
+				} else {
+					xs[i] = 1000 + rng.Float64()
+				}
+			}
+			return xs
+		},
+		"clumped": func() []float64 {
+			// Few distinct values: quantiles must land on (or between) them.
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = float64(rng.Intn(5)) * 7
+			}
+			return xs
+		},
+	}
+	for name, gen := range dists {
+		xs := gen()
+		d := NewTDigest(DefaultCompression)
+		for _, x := range xs {
+			d.Add(x)
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		for _, q := range []float64{0.50, 0.95, 0.99} {
+			got, want := d.Quantile(q), exactQuantile(sorted, q)
+			// The acceptance bar is 1% relative error at P50/P95/P99. The
+			// bimodal gap is the exception that proves the definition:
+			// any quantile estimator interpolating inside the empty
+			// [2, 1000] gap is "wrong" by value while exact by rank, so
+			// there we check rank error instead.
+			if name == "bimodal-gap" && q == 0.50 {
+				rank := float64(sort.SearchFloat64s(sorted, got)) / float64(n)
+				if math.Abs(rank-q) > 0.01 {
+					t.Errorf("%s q=%v: rank of estimate off by %v", name, q, rank-q)
+				}
+				continue
+			}
+			if relErr(got, want) > 0.01 {
+				t.Errorf("%s q=%v: sketch %v vs exact %v (rel err %.4f)",
+					name, q, got, want, relErr(got, want))
+			}
+		}
+	}
+}
+
+// TestTDigestExtremesExact: min and max are tracked outside the centroids
+// and returned exactly at q=0 and q=1.
+func TestTDigestExtremesExact(t *testing.T) {
+	d := NewTDigest(100)
+	rng := rand.New(rand.NewSource(3))
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < 10_000; i++ {
+		x := rng.NormFloat64() * 50
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+		d.Add(x)
+	}
+	if d.Min() != lo || d.Max() != hi {
+		t.Fatalf("min/max %v/%v, want %v/%v", d.Min(), d.Max(), lo, hi)
+	}
+	if d.Quantile(0) != lo || d.Quantile(1) != hi {
+		t.Fatalf("Q(0)/Q(1) = %v/%v, want exact extremes %v/%v",
+			d.Quantile(0), d.Quantile(1), lo, hi)
+	}
+}
+
+// TestTDigestMergeMatchesSingle: a digest built by merging shards must
+// agree with one built from the whole stream to well within the accuracy
+// budget, and Merge must leave the source usable.
+func TestTDigestMergeMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	whole := NewTDigest(DefaultCompression)
+	shards := make([]*TDigest, 8)
+	for i := range shards {
+		shards[i] = NewTDigest(DefaultCompression)
+	}
+	var xs []float64
+	for i := 0; i < 80_000; i++ {
+		x := rng.ExpFloat64() * 3
+		xs = append(xs, x)
+		whole.Add(x)
+		shards[i%len(shards)].Add(x)
+	}
+	merged := NewTDigest(DefaultCompression)
+	for _, s := range shards {
+		merged.Merge(s)
+	}
+	if merged.N() != whole.N() {
+		t.Fatalf("merged N %d, want %d", merged.N(), whole.N())
+	}
+	sort.Float64s(xs)
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if e := relErr(merged.Quantile(q), exactQuantile(xs, q)); e > 0.01 {
+			t.Errorf("merged q=%v: rel err %.4f vs exact", q, e)
+		}
+	}
+	// Source shards survive a Merge: they can still answer queries.
+	if shards[0].N() == 0 || shards[0].Quantile(0.5) <= 0 {
+		t.Error("Merge consumed its source shard")
+	}
+}
+
+// TestTDigestDeterministic: equal push sequences and equal merge orders
+// yield bit-identical quantiles — the property the parallel harness's
+// byte-identity guarantee rests on.
+func TestTDigestDeterministic(t *testing.T) {
+	build := func() *TDigest {
+		rng := rand.New(rand.NewSource(23))
+		a, b := NewTDigest(200), NewTDigest(200)
+		for i := 0; i < 30_000; i++ {
+			x := rng.NormFloat64()
+			if i%3 == 0 {
+				b.Add(x)
+			} else {
+				a.Add(x)
+			}
+		}
+		a.Merge(b)
+		return a
+	}
+	x, y := build(), build()
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.95, 0.99, 1} {
+		if x.Quantile(q) != y.Quantile(q) {
+			t.Fatalf("q=%v diverged: %v vs %v", q, x.Quantile(q), y.Quantile(q))
+		}
+	}
+}
+
+// TestTDigestBoundedMemory: the whole point — centroid count stays a
+// small multiple of the compression no matter how many samples stream in.
+func TestTDigestBoundedMemory(t *testing.T) {
+	d := NewTDigest(100)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500_000; i++ {
+		d.Add(rng.Float64())
+	}
+	d.compact()
+	if c := d.Centroids(); c > 200 {
+		t.Fatalf("%d centroids retained for compression 100", c)
+	}
+}
+
+func TestTDigestEdgeCases(t *testing.T) {
+	d := NewTDigest(50)
+	if d.Quantile(0.5) != 0 || d.N() != 0 {
+		t.Fatal("empty digest must report zero")
+	}
+	d.Add(42)
+	for _, q := range []float64{0, 0.5, 1} {
+		if d.Quantile(q) != 42 {
+			t.Fatalf("single-sample Q(%v) = %v", q, d.Quantile(q))
+		}
+	}
+	c := d.Clone()
+	c.Add(100)
+	if d.N() != 1 || c.N() != 2 {
+		t.Fatal("Clone shares state with its source")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-range quantile did not panic")
+			}
+		}()
+		d.Quantile(1.5)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("tiny compression did not panic")
+			}
+		}()
+		NewTDigest(1)
+	}()
+}

@@ -14,6 +14,7 @@ import (
 	"gridmutex/internal/core"
 	"gridmutex/internal/des"
 	"gridmutex/internal/mutex"
+	"gridmutex/internal/rng"
 )
 
 // Distribution selects the shape of the idle-time distribution.
@@ -151,6 +152,12 @@ type appProc struct {
 	waiting   bool // a request is outstanding and not yet granted
 	dead      bool // crashed: all scheduled activity becomes a no-op
 	reqAt     des.Time
+	// request and exitCS are the process's two timer callbacks, bound
+	// once at Bind time: every critical section schedules both, so
+	// building fresh closures per CS was the harness's largest
+	// allocation site.
+	request func()
+	exitCS  func()
 }
 
 // NewRunner creates a runner; monitor may be nil to skip safety checking.
@@ -161,7 +168,7 @@ func NewRunner(sim *des.Simulator, params Params, monitor *check.Monitor) (*Runn
 	return &Runner{
 		sim:     sim,
 		params:  params,
-		rng:     rand.New(rand.NewSource(params.Seed)),
+		rng:     rng.New(params.Seed),
 		monitor: monitor,
 		procs:   make(map[mutex.ID]*appProc),
 	}, nil
@@ -178,11 +185,15 @@ func (r *Runner) Bind(apps []core.App) {
 		panic("workload: Bind called twice")
 	}
 	r.bound = true
+	r.records = make([]Record, 0, len(apps)*r.params.CSPerProcess)
 	for _, a := range apps {
 		if a.Instance == nil {
 			panic(fmt.Sprintf("workload: app %d has no instance", a.ID))
 		}
-		r.procs[a.ID] = &appProc{app: a, remaining: r.params.CSPerProcess}
+		p := &appProc{app: a, remaining: r.params.CSPerProcess}
+		p.request = func() { r.request(p) }
+		p.exitCS = func() { r.exitCS(p) }
+		r.procs[a.ID] = p
 		r.order = append(r.order, a.ID)
 	}
 }
@@ -200,7 +211,7 @@ func (r *Runner) Start() {
 	r.started = true
 	for _, id := range r.order {
 		p := r.procs[id]
-		r.sim.After(r.idle(p.app.Cluster), func() { r.request(p) })
+		r.sim.After(r.idle(p.app.Cluster), p.request)
 	}
 }
 
@@ -279,19 +290,23 @@ func (r *Runner) onAcquire(id mutex.ID) {
 		ID: id, Cluster: p.app.Cluster,
 		RequestedAt: p.reqAt, AcquiredAt: r.sim.Now(),
 	})
-	r.sim.After(r.params.Alpha, func() {
-		if p.dead {
-			return // crashed inside the CS: no exit, no release
-		}
-		if r.monitor != nil {
-			r.monitor.Exit(id)
-		}
-		p.app.Instance.Release()
-		p.remaining--
-		if p.remaining > 0 {
-			r.sim.After(r.idle(p.app.Cluster), func() { r.request(p) })
-		}
-	})
+	r.sim.After(r.params.Alpha, p.exitCS)
+}
+
+// exitCS ends p's critical section: exit the monitor, release the lock,
+// and schedule the next request after an idle period.
+func (r *Runner) exitCS(p *appProc) {
+	if p.dead {
+		return // crashed inside the CS: no exit, no release
+	}
+	if r.monitor != nil {
+		r.monitor.Exit(p.app.ID)
+	}
+	p.app.Instance.Release()
+	p.remaining--
+	if p.remaining > 0 {
+		r.sim.After(r.idle(p.app.Cluster), p.request)
+	}
 }
 
 // Records returns every satisfied request so far, in grant order.

@@ -24,11 +24,16 @@ go test -race -run 'TestCrash' ./internal/explore/
 echo "==> crash-recovery subsystem under -race"
 go test -race ./internal/recovery/ ./internal/faults/
 
-echo "==> parallel harness equivalence under -race"
+echo "==> parallel harness equivalence under -race (incl. single-cell + recovery shards)"
 go test -race -run 'TestParallel|TestMap' ./internal/harness/ ./internal/fleet/
 
-echo "==> benchmark record (BENCH_3.json): parallel vs serial figure regeneration"
-go run ./cmd/gridbench -experiment fig4a -scale quick -parallel 4 -json BENCH_3.json -q >/dev/null
+echo "==> allocation regression: steady-state send/deliver must stay <= 1 alloc/message"
+go test -run 'Allocs' ./internal/des/ ./internal/simnet/
+
+echo "==> benchmark record (BENCH_5.json): parallel vs serial figure regeneration"
+# BENCH_3.json is the committed pre-optimization record; BENCH_5.json is
+# regenerated here so the hot-path speedup (DESIGN.md §10) stays auditable.
+go run ./cmd/gridbench -experiment fig4a -scale quick -parallel 4 -json BENCH_5.json -q >/dev/null
 
 echo "==> fuzz targets, 10s each"
 go test -fuzz=FuzzDecode -fuzztime=10s -run '^$' ./internal/livenet/wire
