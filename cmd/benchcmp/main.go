@@ -1,0 +1,145 @@
+// Command benchcmp compares a freshly generated gridbench record against
+// the committed baseline (BENCH_5.json) without touching it, so CI can
+// verify the benchmark still reproduces instead of silently overwriting
+// the audited record.
+//
+// Usage:
+//
+//	gridbench -experiment fig4a -scale quick -parallel 4 -json "$tmp" -q
+//	benchcmp -baseline BENCH_5.json -fresh "$tmp"
+//
+// Three properties are checked, in decreasing order of strictness:
+//
+//   - determinism: the fresh record's figures and event count must match
+//     the baseline byte for byte — the DES is a pure function of its
+//     configuration, so any drift here is a correctness bug, not noise;
+//   - integrity: both records must carry identical=true (gridbench's own
+//     parallel-vs-serial cross-check) and agree on experiment, scale,
+//     cells and runs;
+//   - throughput: events_per_sec may vary with the machine, so it is
+//     only held to a floor: fresh >= baseline*(1-tolerance). Override
+//     the default with -tolerance or BENCHCMP_TOLERANCE.
+//
+// Exit status: 0 on pass, 1 on any mismatch, 2 on usage/IO errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+)
+
+// record mirrors the gridbench/1 fields benchcmp judges.
+type record struct {
+	Schema       string            `json:"schema"`
+	Experiment   string            `json:"experiment"`
+	Scale        string            `json:"scale"`
+	Cells        int               `json:"cells"`
+	Runs         int               `json:"runs"`
+	Events       int64             `json:"events"`
+	EventsPerSec float64           `json:"events_per_sec"`
+	Identical    bool              `json:"identical"`
+	Figures      map[string]string `json:"figures"`
+}
+
+func main() { os.Exit(run(os.Args[1:])) }
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("benchcmp", flag.ExitOnError)
+	basePath := fs.String("baseline", "BENCH_5.json", "committed benchmark record")
+	freshPath := fs.String("fresh", "", "freshly generated record to compare")
+	tolerance := fs.Float64("tolerance", defaultTolerance(), "allowed fractional throughput drop below baseline (BENCHCMP_TOLERANCE)")
+	fs.Parse(args)
+	if *freshPath == "" {
+		fmt.Fprintln(os.Stderr, "benchcmp: -fresh is required")
+		return 2
+	}
+	if *tolerance < 0 || *tolerance >= 1 {
+		fmt.Fprintln(os.Stderr, "benchcmp: -tolerance must be in [0,1)")
+		return 2
+	}
+
+	base, err := read(*basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		return 2
+	}
+	fresh, err := read(*freshPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		return 2
+	}
+
+	status := 0
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "benchcmp: "+format+"\n", args...)
+		status = 1
+	}
+
+	for _, r := range []struct {
+		which string
+		rec   *record
+	}{{"baseline", base}, {"fresh", fresh}} {
+		if r.rec.Schema != "gridbench/1" {
+			fail("%s: unknown schema %q", r.which, r.rec.Schema)
+		}
+		if !r.rec.Identical {
+			fail("%s: identical=false — the parallel pass diverged from the serial reference", r.which)
+		}
+	}
+	if base.Experiment != fresh.Experiment || base.Scale != fresh.Scale {
+		fail("configuration mismatch: baseline %s/%s vs fresh %s/%s", base.Experiment, base.Scale, fresh.Experiment, fresh.Scale)
+	}
+	if base.Cells != fresh.Cells || base.Runs != fresh.Runs {
+		fail("coverage mismatch: baseline %d cells/%d runs vs fresh %d cells/%d runs", base.Cells, base.Runs, fresh.Cells, fresh.Runs)
+	}
+	if base.Events != fresh.Events {
+		fail("determinism violation: baseline processed %d events, fresh %d — same configuration must replay the same schedule", base.Events, fresh.Events)
+	}
+	for name, want := range base.Figures {
+		if got, ok := fresh.Figures[name]; !ok {
+			fail("fresh record lacks figure %s", name)
+		} else if got != want {
+			fail("determinism violation: figure %s differs from the committed record", name)
+		}
+	}
+
+	floor := base.EventsPerSec * (1 - *tolerance)
+	if fresh.EventsPerSec < floor {
+		fail("throughput regression: %.0f events/sec is below the floor %.0f (baseline %.0f, tolerance %.0f%%)",
+			fresh.EventsPerSec, floor, base.EventsPerSec, *tolerance*100)
+	}
+
+	if status == 0 {
+		fmt.Printf("benchcmp: ok — %d events byte-identical, %.2fx baseline throughput\n",
+			fresh.Events, fresh.EventsPerSec/base.EventsPerSec)
+	}
+	return status
+}
+
+// defaultTolerance reads BENCHCMP_TOLERANCE, defaulting to 0.75: CI
+// machines vary wildly, so by default only a >4x slowdown fails — the
+// determinism checks, not the throughput floor, carry the regression
+// burden.
+func defaultTolerance() float64 {
+	if s := os.Getenv("BENCHCMP_TOLERANCE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil {
+			return v
+		}
+	}
+	return 0.75
+}
+
+func read(path string) (*record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r record
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}

@@ -71,6 +71,7 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//lint:allow desdeterminism worker-pool island (DESIGN.md §8): each job is a pure function of its seed on a private Simulator, and results merge by job index, so scheduler order cannot reach any aggregate
 		go func() {
 			defer wg.Done()
 			for {

@@ -1,0 +1,14 @@
+package lint_test
+
+import (
+	"testing"
+
+	"gridmutex/internal/lint"
+	"gridmutex/internal/lint/linttest"
+)
+
+func TestAllocHygieneHotPath(t *testing.T) {
+	linttest.RunProgram(t, linttest.TestDataDir(t), lint.AllocHygiene,
+		"allochygiene/internal/simnet",
+	)
+}

@@ -1,0 +1,62 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"gridmutex/internal/lint"
+)
+
+// TestExemptionAudit runs the full suite over a corpus package carrying
+// one pragma of every audit category and checks each is classified
+// correctly: live pragmas pass, stale ones, unknown analyzer names, and
+// missing reasons are each reported.
+func TestExemptionAudit(t *testing.T) {
+	prog := loadProgram(t, "exemptaudit/internal/des")
+	suite := lint.DefaultSuite()
+	result := lint.RunSuite(prog, suite)
+
+	// The typo'd pragma suppresses nothing, so the go statement under it
+	// surfaces as the run's only diagnostic.
+	if len(result.Diagnostics) != 1 {
+		t.Fatalf("got %d diagnostics, want 1 (the go statement under the typo'd pragma):\n%v", len(result.Diagnostics), result.Diagnostics)
+	}
+	if d := result.Diagnostics[0]; d.Analyzer != "desdeterminism" || !strings.Contains(d.Message, "go statement") {
+		t.Errorf("unexpected surviving diagnostic: %s", d)
+	}
+
+	audit := lint.AuditExemptions(result.Exemptions, suite.Names())
+	wantFragments := []string{
+		"stale //lint:allow desdeterminism",            // Sum's leftover pragma
+		"unknown analyzer determinism",                 // Typo's misspelling
+		"stale //lint:allow determinism",               // ...which therefore also suppresses nothing
+		"//lint:allow desdeterminism without a reason", // Quiet's bare pragma
+	}
+	if len(audit) != len(wantFragments) {
+		t.Fatalf("got %d audit findings, want %d:\n%v", len(audit), len(wantFragments), audit)
+	}
+	for _, frag := range wantFragments {
+		found := false
+		for _, d := range audit {
+			if strings.Contains(d.Message, frag) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no audit finding contains %q; got:\n%v", frag, audit)
+		}
+	}
+
+	// The live, reasoned pragma must be accounted used — it is the one
+	// hole the audit should never flag.
+	liveSeen := false
+	for _, e := range result.Exemptions {
+		if e.Used && e.Reason != "" {
+			liveSeen = true
+		}
+	}
+	if !liveSeen {
+		t.Error("no pragma recorded as used with a reason; Spawn's live pragma lost its accounting")
+	}
+}

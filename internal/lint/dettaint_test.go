@@ -1,0 +1,69 @@
+package lint_test
+
+import (
+	"testing"
+
+	"gridmutex/internal/lint"
+	"gridmutex/internal/lint/linttest"
+)
+
+func TestDetTaintCrossPackageChain(t *testing.T) {
+	linttest.RunProgram(t, linttest.TestDataDir(t), lint.DetTaint,
+		"dettaint/internal/harness",
+		"dettaint/internal/util",
+	)
+}
+
+// TestDetTaintChainRecorded pins the part the want harness cannot see:
+// the diagnostic carries the entry-point chain, outermost first.
+func TestDetTaintChainRecorded(t *testing.T) {
+	prog := loadProgram(t, "dettaint/internal/harness", "dettaint/internal/util")
+	diags := lint.RunProgramAnalyzers(prog, []*lint.ProgramAnalyzer{lint.DetTaint})
+	if len(diags) == 0 {
+		t.Fatal("no diagnostics")
+	}
+	for _, d := range diags {
+		if len(d.Chain) < 2 {
+			t.Errorf("diagnostic without a cross-package chain: %s", d)
+			continue
+		}
+		if d.Chain[0].Func != "internal/harness.Run" {
+			t.Errorf("chain starts at %s, want the DES entry point internal/harness.Run", d.Chain[0].Func)
+		}
+	}
+}
+
+// TestDetTaintOldPassMisses proves the blind spot: the file-local
+// desdeterminism pass, run exactly as the suite configures it, reports
+// nothing on the helper package — the wall-clock read there is only
+// caught through the cross-package chain.
+func TestDetTaintOldPassMisses(t *testing.T) {
+	prog := loadProgram(t, "dettaint/internal/util")
+	pkg := prog.Package("dettaint/internal/util")
+	if pkg == nil {
+		t.Fatal("util package not loaded")
+	}
+	if diags := lint.RunAnalyzers(pkg, lint.All()); len(diags) != 0 {
+		t.Errorf("per-package suite unexpectedly reports on the helper package:\n%s", linttest.Describe(diags))
+	}
+}
+
+func loadProgram(t *testing.T, paths ...string) *lint.Program {
+	t.Helper()
+	root := linttest.TestDataDir(t)
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader.ExtraRoot = root
+	prog, err := loader.LoadProgram(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range prog.Packages {
+		for _, e := range pkg.TypeErrors {
+			t.Errorf("%s: type error: %v", pkg.Path, e)
+		}
+	}
+	return prog
+}

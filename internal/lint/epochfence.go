@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// EpochFence enforces the crash-recovery rule that makes token
+// regeneration safe (PR 4): once epochs exist, every inter-cluster
+// message must identify which epoch (or, for intra-composition routing,
+// which level) it belongs to, so a receiver can drop traffic from
+// before a token regeneration instead of resurrecting a superseded
+// token.
+//
+// The analyzer inspects every Send call whose callee takes (ID, Message)
+// — the mutex transport shape, recognized structurally by the Message
+// interface carrying Kind() and Size(). The message argument's static
+// type must prove the fence:
+//
+//   - a struct carrying (possibly through embedded structs) a field of
+//     named type Epoch — the recovery wrapper and control messages;
+//   - or a field of named type Level — the composition envelope, whose
+//     epoch is applied by the recovery layer wrapping it;
+//   - or an int field named Round — per-probe control traffic fenced by
+//     round number;
+//   - or no fields at all — content-free heartbeats, which carry no
+//     state a stale epoch could corrupt.
+//
+// A message whose static type is the bare interface is always flagged:
+// the fence cannot be proven for a value of unknown shape, and the fix
+// (wrap in recovery.Wrapped before the raw send) also makes the type
+// concrete.
+var EpochFence = &Analyzer{
+	Name: "epochfence",
+	Doc: "require inter-cluster sends in epoch-aware packages to carry an " +
+		"Epoch, Level, or Round fence (or be empty control messages)",
+	AppliesTo: anyUnder(
+		"internal/core",
+		"internal/recovery",
+	),
+	Run: runEpochFence,
+}
+
+func runEpochFence(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkEpochSend(p, call)
+			return true
+		})
+	}
+}
+
+func checkEpochSend(p *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Send" || len(call.Args) != 2 {
+		return
+	}
+	sig, ok := p.TypeOf(call.Fun).(*types.Signature)
+	if !ok || sig.Params().Len() != 2 {
+		return
+	}
+	if !isMessageIface(sig.Params().At(1).Type()) {
+		return
+	}
+	arg := call.Args[1]
+	t := p.TypeOf(arg)
+	if t == nil {
+		return
+	}
+	if _, isIface := t.Underlying().(*types.Interface); isIface {
+		p.Reportf(arg.Pos(), "send of interface-typed message %s cannot be proven epoch-fenced; wrap it in the epoch wrapper before the raw send", exprString(arg))
+		return
+	}
+	named, ok := derefNamed(t)
+	if !ok {
+		p.Reportf(arg.Pos(), "send of %s (type %s) is not epoch-fenced; inter-cluster messages must carry an Epoch, Level, or Round field", exprString(arg), t.String())
+		return
+	}
+	if !epochFenced(named, make(map[*types.Named]bool)) {
+		p.Reportf(arg.Pos(), "send of %s (type %s) is not epoch-fenced: no Epoch, Level, or Round field; wrap it in the epoch wrapper so stale-epoch traffic is dropped", exprString(arg), named.Obj().Name())
+	}
+}
+
+// isMessageIface recognizes the mutex.Message shape: an interface whose
+// method set includes Kind and Size.
+func isMessageIface(t types.Type) bool {
+	iface, ok := t.Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	var hasKind, hasSize bool
+	for i := 0; i < iface.NumMethods(); i++ {
+		switch iface.Method(i).Name() {
+		case "Kind":
+			hasKind = true
+		case "Size":
+			hasSize = true
+		}
+	}
+	return hasKind && hasSize
+}
+
+// epochFenced reports whether the named struct type carries a fence
+// field, searching embedded structs recursively.
+func epochFenced(named *types.Named, seen map[*types.Named]bool) bool {
+	if seen[named] {
+		return false
+	}
+	seen[named] = true
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	if st.NumFields() == 0 {
+		return true // content-free control message (heartbeat)
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if fn, ok := derefNamed(f.Type()); ok {
+			switch fn.Obj().Name() {
+			case "Epoch", "Level":
+				return true
+			}
+			if f.Embedded() && epochFenced(fn, seen) {
+				return true
+			}
+		}
+		if f.Name() == "Round" {
+			if basic, ok := f.Type().Underlying().(*types.Basic); ok && basic.Info()&types.IsInteger != 0 {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"gridmutex/internal/lint"
+	"gridmutex/internal/lint/linttest"
+)
+
+func TestEpochFenceBad(t *testing.T) {
+	linttest.Run(t, linttest.TestDataDir(t), lint.EpochFence, "epochfence/bad")
+}
+
+func TestEpochFenceGood(t *testing.T) {
+	linttest.Run(t, linttest.TestDataDir(t), lint.EpochFence, "epochfence/good")
+}

@@ -1,0 +1,446 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// FreelistDiscipline enforces the lifecycle rules of the pooled-envelope
+// freelists PR 5 introduced (core's boxes []*pooledEnvelope). A pool
+// only keeps the hot path allocation-free if three invariants hold:
+//
+//   - a value popped off a freelist is consumed on every path out of
+//     the function — passed onward (Send), returned, or pushed back;
+//     a path that returns without doing any of those leaks the box and
+//     the pool drains back into allocation;
+//   - a value pushed back (fl = append(fl, v)) is dead: any later use
+//     in the same block is a use-after-put, reading a box the next pop
+//     may already have handed to someone else;
+//   - a pooled value never outlives its delivery: storing it into a
+//     field or element of something else, appending it to a non-pool
+//     slice, or capturing it in a closure retains an aliased box whose
+//     contents will be rewritten on reuse.
+//
+// The analyzer recognizes pools structurally: a struct field of type
+// []*T (T a struct declared in the same package) whose name contains
+// "box", "free" or "pool". Variables of type *T for a pooled T are then
+// tracked through each function body.
+var FreelistDiscipline = &Analyzer{
+	Name: "freelist",
+	Doc: "enforce freelist lifecycle: pooled values consumed on all return " +
+		"paths, never used after put, never retained past delivery",
+	AppliesTo: anyUnder(
+		"internal/des",
+		"internal/simnet",
+		"internal/core",
+	),
+	Run: runFreelist,
+}
+
+// poolNameFragments mark a slice field as a freelist.
+var poolNameFragments = []string{"box", "free", "pool"}
+
+func runFreelist(p *Pass) {
+	ps := findPools(p.Pkg)
+	if len(ps.elems) == 0 {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			for _, obj := range pooledVars(p.Pkg, fd, ps) {
+				checkPooledVar(p, fd, obj, ps)
+			}
+		}
+	}
+}
+
+// pools records the freelists of one package: the box element types
+// (which variables to track) and the specific slice fields that are
+// freelists (which appends are puts — another slice of the same element
+// type is retention, not recycling).
+type pools struct {
+	elems  map[*types.Named]bool
+	fields map[types.Object]bool
+}
+
+// findPools finds every freelist field declared in the package.
+func findPools(pkg *Package) pools {
+	out := pools{elems: make(map[*types.Named]bool), fields: make(map[types.Object]bool)}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if len(field.Names) == 0 {
+					continue
+				}
+				pooly := false
+				for _, name := range field.Names {
+					lower := strings.ToLower(name.Name)
+					for _, frag := range poolNameFragments {
+						if strings.Contains(lower, frag) {
+							pooly = true
+						}
+					}
+				}
+				if !pooly {
+					continue
+				}
+				if elem, ok := pointerStructElem(pkg, pkg.Info.TypeOf(field.Type)); ok {
+					out.elems[elem] = true
+					for _, name := range field.Names {
+						if obj := pkg.Info.Defs[name]; obj != nil {
+							out.fields[obj] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// pointerStructElem matches []*T for T a named struct of this package.
+func pointerStructElem(pkg *Package, t types.Type) (*types.Named, bool) {
+	if t == nil {
+		return nil, false
+	}
+	slice, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return nil, false
+	}
+	ptr, ok := slice.Elem().(*types.Pointer)
+	if !ok {
+		return nil, false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() != pkg.Types {
+		return nil, false
+	}
+	_, isStruct := named.Underlying().(*types.Struct)
+	return named, isStruct
+}
+
+// isFreelistExpr reports whether e denotes one of the package's
+// freelist fields.
+func isFreelistExpr(pkg *Package, ps pools, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return ps.fields[pkg.Info.Uses[e]] || ps.fields[pkg.Info.Defs[e]]
+	case *ast.SelectorExpr:
+		return ps.fields[pkg.Info.Uses[e.Sel]]
+	}
+	return false
+}
+
+// pooledVars collects the variables of pooled pointer type a function
+// declares — explicitly or implicitly (type-switch case vars).
+func pooledVars(pkg *Package, fd *ast.FuncDecl, ps pools) []*types.Var {
+	var out []*types.Var
+	seen := make(map[*types.Var]bool)
+	add := func(obj types.Object) {
+		v, ok := obj.(*types.Var)
+		if !ok || seen[v] {
+			return
+		}
+		ptr, ok := v.Type().(*types.Pointer)
+		if !ok {
+			return
+		}
+		named, ok := ptr.Elem().(*types.Named)
+		if !ok || !ps.elems[named] {
+			return
+		}
+		seen[v] = true
+		out = append(out, v)
+	}
+	ast.Inspect(fd, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if obj := pkg.Info.Defs[n]; obj != nil {
+				add(obj)
+			}
+		case *ast.CaseClause:
+			if obj := pkg.Info.Implicits[n]; obj != nil {
+				add(obj)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkPooledVar runs the three lifecycle checks for one pooled variable
+// in one function.
+func checkPooledVar(p *Pass, fd *ast.FuncDecl, obj *types.Var, ps pools) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkPooledAssign(p, fd, n, obj, ps)
+		case *ast.FuncLit:
+			checkClosureCapture(p, n, obj)
+			return false
+		}
+		return true
+	})
+}
+
+// checkPooledAssign handles one assignment mentioning the pooled var:
+// get (pop off the freelist), put (append back), or retention.
+func checkPooledAssign(p *Pass, fd *ast.FuncDecl, asg *ast.AssignStmt, obj *types.Var, ps pools) {
+	pkg := p.Pkg
+	// Get: obj = fl[i]. The popped value must be consumed before every
+	// exit from the function.
+	if len(asg.Lhs) == 1 && len(asg.Rhs) == 1 && identFor(pkg, asg.Lhs[0], obj) {
+		if idx, ok := asg.Rhs[0].(*ast.IndexExpr); ok && isFreelistExpr(pkg, ps, idx.X) {
+			checkConsumedAfterGet(p, fd, asg, obj, ps)
+		}
+	}
+	for i, lhs := range asg.Lhs {
+		rhs := asg.Rhs[0]
+		if len(asg.Rhs) == len(asg.Lhs) {
+			rhs = asg.Rhs[i]
+		}
+		// Mentions inside nested function literals belong to the closure
+		// capture check, which reports at the capturing use.
+		if !mentionsObjOutsideClosures(pkg, rhs, obj) {
+			continue
+		}
+		if call, ok := appendCall(rhs); ok {
+			if isFreelistExpr(pkg, ps, call.Args[0]) {
+				// Put: fl = append(fl, obj). Anything after it in the
+				// same block reads a recycled box.
+				checkDeadAfterPut(p, fd, asg, obj)
+			} else {
+				p.Reportf(asg.Pos(), "pooled %s appended to non-freelist slice %s retains the box past its delivery; copy the value out instead", obj.Name(), exprString(call.Args[0]))
+			}
+			continue
+		}
+		switch l := ast.Unparen(lhs).(type) {
+		case *ast.SelectorExpr:
+			if !identFor(pkg, l.X, obj) {
+				p.Reportf(asg.Pos(), "pooled %s stored into %s outlives its delivery; the box will be rewritten on reuse — copy the value out instead", obj.Name(), exprString(lhs))
+			}
+		case *ast.IndexExpr:
+			p.Reportf(asg.Pos(), "pooled %s stored into %s outlives its delivery; the box will be rewritten on reuse — copy the value out instead", obj.Name(), exprString(lhs))
+		}
+	}
+}
+
+// checkConsumedAfterGet scans forward from the get through the enclosing
+// statement lists: the pooled value must be consumed (call argument,
+// return value, or freelist put) before a return is reached or the
+// function body ends.
+func checkConsumedAfterGet(p *Pass, fd *ast.FuncDecl, get ast.Stmt, obj *types.Var, ps pools) {
+	path := stmtPath(fd.Body, get)
+	for level := len(path) - 1; level >= 0; level-- {
+		step := path[level]
+		for _, s := range step.list[step.idx+1:] {
+			if consumesObj(p.Pkg, s, obj, ps) {
+				return
+			}
+			if containsReturn(s) {
+				p.Reportf(get.Pos(), "pooled %s popped from the freelist reaches a return without a send, return, or put; the box leaks and the pool drains back into allocation", obj.Name())
+				return
+			}
+		}
+	}
+	p.Reportf(get.Pos(), "pooled %s popped from the freelist reaches the end of %s without a send, return, or put; the box leaks and the pool drains back into allocation", obj.Name(), fd.Name.Name)
+}
+
+// checkDeadAfterPut flags uses of the pooled var after its freelist put
+// in the same statement list.
+func checkDeadAfterPut(p *Pass, fd *ast.FuncDecl, put ast.Stmt, obj *types.Var) {
+	path := stmtPath(fd.Body, put)
+	if len(path) == 0 {
+		return
+	}
+	step := path[len(path)-1]
+	for _, s := range step.list[step.idx+1:] {
+		if mentionsObj(p.Pkg, s, obj) {
+			p.Reportf(s.Pos(), "pooled %s used after its freelist put; the box may already be handed out again — move this before the put", obj.Name())
+		}
+	}
+}
+
+// checkClosureCapture flags pooled vars captured by a closure declared
+// after them: the closure may run after the box is recycled.
+func checkClosureCapture(p *Pass, lit *ast.FuncLit, obj *types.Var) {
+	if obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+		return // declared inside the literal: not a capture
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && p.Pkg.Info.Uses[id] == obj {
+			p.Reportf(id.Pos(), "pooled %s captured by closure outlives its delivery; the box will be rewritten on reuse — copy the value out instead", obj.Name())
+			return false
+		}
+		return true
+	})
+}
+
+// consumesObj reports whether the statement consumes the pooled value:
+// passes it as a call argument, returns it, or puts it back on a
+// freelist.
+func consumesObj(pkg *Package, s ast.Stmt, obj *types.Var, ps pools) bool {
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				if identFor(pkg, arg, obj) {
+					found = true
+					return false
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if identFor(pkg, r, obj) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// containsReturn reports whether the statement contains a return outside
+// any function literal.
+func containsReturn(s ast.Stmt) bool {
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// mentionsObj reports whether the node references the variable.
+func mentionsObj(pkg *Package, n ast.Node, obj *types.Var) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && (pkg.Info.Uses[id] == obj || pkg.Info.Defs[id] == obj) {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// mentionsObjOutsideClosures is mentionsObj ignoring function-literal
+// subtrees.
+func mentionsObjOutsideClosures(pkg *Package, n ast.Node, obj *types.Var) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && (pkg.Info.Uses[id] == obj || pkg.Info.Defs[id] == obj) {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// identFor reports whether e is (after unparen) an identifier bound to
+// the variable.
+func identFor(pkg *Package, e ast.Expr, obj *types.Var) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && (pkg.Info.Uses[id] == obj || pkg.Info.Defs[id] == obj)
+}
+
+// appendCall matches append(...) with at least two arguments.
+func appendCall(e ast.Expr) (*ast.CallExpr, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return nil, false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return nil, false
+	}
+	return call, true
+}
+
+// listStep is one level of the enclosing-statement-list chain.
+type listStep struct {
+	list []ast.Stmt
+	idx  int
+}
+
+// stmtPath returns the chain of statement lists from the function body
+// down to (and including) the list directly containing target, with the
+// index of the statement containing target at each level.
+func stmtPath(body *ast.BlockStmt, target ast.Stmt) []listStep {
+	var path []listStep
+	var walk func(list []ast.Stmt) bool
+	contains := func(s ast.Stmt) bool {
+		return s.Pos() <= target.Pos() && target.End() <= s.End()
+	}
+	walk = func(list []ast.Stmt) bool {
+		for i, s := range list {
+			if !contains(s) {
+				continue
+			}
+			path = append(path, listStep{list: list, idx: i})
+			if s == target {
+				return true
+			}
+			found := false
+			ast.Inspect(s, func(n ast.Node) bool {
+				if found {
+					return false
+				}
+				var inner []ast.Stmt
+				switch n := n.(type) {
+				case *ast.BlockStmt:
+					inner = n.List
+				case *ast.CaseClause:
+					inner = n.Body
+				case *ast.CommClause:
+					inner = n.Body
+				case *ast.FuncLit:
+					return false
+				default:
+					return true
+				}
+				for _, is := range inner {
+					if is == target || contains(is) {
+						found = walk(inner)
+						return false
+					}
+				}
+				return true
+			})
+			return found
+		}
+		return false
+	}
+	if !walk(body.List) {
+		return nil
+	}
+	return path
+}

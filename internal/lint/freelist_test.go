@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"gridmutex/internal/lint"
+	"gridmutex/internal/lint/linttest"
+)
+
+func TestFreelistBad(t *testing.T) {
+	linttest.Run(t, linttest.TestDataDir(t), lint.FreelistDiscipline, "freelist/bad")
+}
+
+func TestFreelistGood(t *testing.T) {
+	linttest.Run(t, linttest.TestDataDir(t), lint.FreelistDiscipline, "freelist/good")
+}

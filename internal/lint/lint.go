@@ -31,7 +31,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"regexp"
 	"sort"
 	"strings"
 )
@@ -76,78 +75,31 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 
 // Diagnostic is one finding.
 type Diagnostic struct {
-	Analyzer string
-	Pos      token.Position
-	Message  string
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"pos"`
+	Message  string         `json:"message"`
+	// Chain, set by whole-program analyzers, is the call chain from an
+	// entry point to the function containing the finding, outermost
+	// first.
+	Chain []ChainEntry `json:"chain,omitempty"`
 }
 
-// String renders the diagnostic the way go vet does.
+// String renders the diagnostic the way go vet does, with the call chain
+// (if any) appended.
 func (d Diagnostic) String() string {
-	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+	s := fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+	if len(d.Chain) > 0 {
+		names := make([]string, len(d.Chain))
+		for i, c := range d.Chain {
+			names[i] = c.Func
+		}
+		s += fmt.Sprintf("\n\tvia %s", strings.Join(names, " → "))
+	}
+	return s
 }
 
-// allowRe matches suppression comments: //lint:allow <name> [reason].
-var allowRe = regexp.MustCompile(`^//lint:allow\s+([a-z0-9_,]+)`)
-
-// allowedLines returns, per file (by filename), the set of lines whose
-// diagnostics from the named analyzer are suppressed. A comment suppresses
-// its own line and the line below it, so both trailing and preceding
-// placement work:
-//
-//	for k := range m { // lint:allow — NOT this; the marker form is:
-//	//lint:allow desdeterminism keys feed a commutative sum
-//	for k := range m {
-func allowedLines(pkg *Package, analyzer string) map[string]map[int]bool {
-	out := make(map[string]map[int]bool)
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				m := allowRe.FindStringSubmatch(c.Text)
-				if m == nil {
-					continue
-				}
-				names := strings.Split(m[1], ",")
-				ok := false
-				for _, n := range names {
-					if n == analyzer || n == "all" {
-						ok = true
-					}
-				}
-				if !ok {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				lines := out[pos.Filename]
-				if lines == nil {
-					lines = make(map[int]bool)
-					out[pos.Filename] = lines
-				}
-				lines[pos.Line] = true
-				lines[pos.Line+1] = true
-			}
-		}
-	}
-	return out
-}
-
-// RunAnalyzers executes every applicable analyzer on the package and
-// returns the surviving diagnostics sorted by position.
-func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
-	var out []Diagnostic
-	for _, a := range analyzers {
-		if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
-			continue
-		}
-		pass := &Pass{Analyzer: a, Pkg: pkg}
-		a.Run(pass)
-		allowed := allowedLines(pkg, a.Name)
-		for _, d := range pass.diags {
-			if lines := allowed[d.Pos.Filename]; lines != nil && lines[d.Pos.Line] {
-				continue
-			}
-			out = append(out, d)
-		}
-	}
+// sortDiagnostics orders findings by position, then analyzer.
+func sortDiagnostics(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos
 		if a.Filename != b.Filename {
@@ -161,17 +113,117 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return out[i].Analyzer < out[j].Analyzer
 	})
+}
+
+// RunAnalyzers executes every applicable analyzer on the package and
+// returns the surviving diagnostics sorted by position. Pragma usage is
+// discarded; drivers that need the exemption audit use RunSuite.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	idx := newExemptionIndex(collectExemptions(pkg))
+	var out []Diagnostic
+	for _, a := range analyzers {
+		if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
+			continue
+		}
+		pass := &Pass{Analyzer: a, Pkg: pkg}
+		a.Run(pass)
+		for _, d := range pass.diags {
+			if !idx.suppresses(d) {
+				out = append(out, d)
+			}
+		}
+	}
+	sortDiagnostics(out)
 	return out
 }
 
-// All returns the gridlint analyzer suite.
+// Suite is the full gridlint configuration: per-package analyzers plus
+// whole-program analyzers.
+type Suite struct {
+	Analyzers []*Analyzer
+	Program   []*ProgramAnalyzer
+}
+
+// Names returns the set of valid analyzer names, for the exemption
+// audit.
+func (s Suite) Names() map[string]bool {
+	out := make(map[string]bool)
+	for _, a := range s.Analyzers {
+		out[a.Name] = true
+	}
+	for _, a := range s.Program {
+		out[a.Name] = true
+	}
+	return out
+}
+
+// Result is one whole-suite run over one program.
+type Result struct {
+	// Diagnostics are the surviving (non-exempt) findings, sorted.
+	Diagnostics []Diagnostic
+	// Exemptions are every //lint:allow pragma seen, with usage marked.
+	Exemptions []*Exemption
+}
+
+// RunSuite executes the per-package analyzers on every package of the
+// program and the whole-program analyzers on the program itself,
+// suppressing findings covered by //lint:allow pragmas and recording
+// which pragmas earned their keep.
+func RunSuite(prog *Program, s Suite) Result {
+	var exs []*Exemption
+	for _, pkg := range prog.Packages {
+		exs = append(exs, collectExemptions(pkg)...)
+	}
+	idx := newExemptionIndex(exs)
+
+	var out []Diagnostic
+	keep := func(diags []Diagnostic) {
+		for _, d := range diags {
+			if !idx.suppresses(d) {
+				out = append(out, d)
+			}
+		}
+	}
+	for _, pkg := range prog.Packages {
+		for _, a := range s.Analyzers {
+			if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
+				continue
+			}
+			pass := &Pass{Analyzer: a, Pkg: pkg}
+			a.Run(pass)
+			keep(pass.diags)
+		}
+	}
+	keep(RunProgramAnalyzers(prog, s.Program))
+
+	sortDiagnostics(out)
+	sortExemptions(exs)
+	return Result{Diagnostics: out, Exemptions: exs}
+}
+
+// All returns the gridlint per-package analyzer suite.
 func All() []*Analyzer {
 	return []*Analyzer{
 		DESDeterminism,
+		EpochFence,
+		FreelistDiscipline,
 		LockDiscipline,
 		MsgPurity,
 		VirtualTime,
 	}
+}
+
+// AllProgram returns the gridlint whole-program analyzer suite.
+func AllProgram() []*ProgramAnalyzer {
+	return []*ProgramAnalyzer{
+		AllocHygiene,
+		DetTaint,
+	}
+}
+
+// DefaultSuite is the complete gridlint suite the driver and CI run.
+func DefaultSuite() Suite {
+	return Suite{Analyzers: All(), Program: AllProgram()}
 }
 
 // PathUnder reports whether the import path equals prefix or lives below
@@ -181,18 +233,37 @@ func PathUnder(path, prefix string) bool {
 }
 
 // anyUnder builds an AppliesTo func matching any of the given prefixes,
-// compared against the path with the module prefix stripped — so filters
-// keep working when the corpus loads packages under synthetic paths.
+// compared against the path as given and with everything before an
+// "internal/" or "cmd/" path segment stripped — so filters keep working
+// both on real module paths (gridmutex/internal/des) and on the
+// synthetic paths the test corpus loads packages under
+// (dettaint/internal/util).
 func anyUnder(prefixes ...string) func(string) bool {
 	return func(pkgPath string) bool {
-		trimmed := strings.TrimPrefix(pkgPath, "gridmutex/")
+		cands := []string{pkgPath, stripModulePrefix(pkgPath)}
 		for _, p := range prefixes {
-			if PathUnder(pkgPath, p) || PathUnder(trimmed, p) {
-				return true
+			for _, c := range cands {
+				if PathUnder(c, p) {
+					return true
+				}
 			}
 		}
 		return false
 	}
+}
+
+// stripModulePrefix cuts everything before the first "internal/" or
+// "cmd/" segment at a path boundary, mirroring CallNode.Name.
+func stripModulePrefix(pkgPath string) string {
+	for _, seg := range []string{"internal/", "cmd/"} {
+		if strings.HasPrefix(pkgPath, seg) {
+			return pkgPath
+		}
+		if i := strings.Index(pkgPath, "/"+seg); i >= 0 {
+			return pkgPath[i+1:]
+		}
+	}
+	return pkgPath
 }
 
 // isPkgIdent reports whether e is an identifier naming an imported package
@@ -209,13 +280,25 @@ func isPkgIdent(info *types.Info, e ast.Expr, path string) bool {
 // namedType reports whether t (after pointer indirection) is the named
 // type pkgPath.name.
 func namedType(t types.Type, pkgPath, name string) bool {
-	if ptr, ok := t.(*types.Pointer); ok {
-		t = ptr.Elem()
-	}
-	n, ok := t.(*types.Named)
+	n, ok := derefNamed(t)
 	if !ok {
 		return false
 	}
 	obj := n.Obj()
 	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// derefNamed strips one level of pointer indirection and returns the
+// named type underneath, if any.
+func derefNamed(t types.Type) (*types.Named, bool) {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return n, ok
+}
+
+// exprString renders an expression for diagnostics.
+func exprString(e ast.Expr) string {
+	return types.ExprString(e)
 }

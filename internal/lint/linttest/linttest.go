@@ -81,6 +81,59 @@ func Run(t *testing.T, srcRoot string, a *lint.Analyzer, pkgdir string) {
 	}
 }
 
+// RunProgram loads the given testdata/src/<pkgdir> packages together as
+// one program, runs the whole-program analyzer over it, and checks its
+// diagnostics against the want comments across all the sources.
+//
+// Corpus packages select themselves into the analyzer's scope by path
+// shape: a package under testdata/src/<name>/internal/harness loads with
+// import path <name>/internal/harness, which the analyzers' package
+// filters match at the internal/ boundary exactly like the real module
+// path.
+func RunProgram(t *testing.T, srcRoot string, a *lint.ProgramAnalyzer, pkgdirs ...string) {
+	t.Helper()
+	loader, err := lint.NewLoader(srcRoot)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	loader.ExtraRoot = srcRoot
+	prog, err := loader.LoadProgram(pkgdirs)
+	if err != nil {
+		t.Fatalf("linttest: load program: %v", err)
+	}
+	var wants []want
+	for _, pkg := range prog.Packages {
+		for _, e := range pkg.TypeErrors {
+			t.Errorf("linttest: %s: type error: %v", pkg.Path, e)
+		}
+		wants = append(wants, collectWants(t, pkg.Fset, pkg)...)
+	}
+
+	got := lint.RunProgramAnalyzers(prog, []*lint.ProgramAnalyzer{a})
+	matched := make([]bool, len(wants))
+	for _, d := range got {
+		ok := false
+		for i, w := range wants {
+			if matched[i] || w.file != filepath.Base(d.Pos.Filename) || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s", a.Name, d)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s: %s:%d: no diagnostic matched want %q", a.Name, w.file, w.line, w.re)
+		}
+	}
+}
+
 type want struct {
 	file string
 	line int

@@ -24,8 +24,9 @@ var LockDiscipline = &Analyzer{
 	AppliesTo: anyUnder(
 		"internal/livenet",
 		"internal/reliable",
-		// fleet is exempt from desdeterminism (it IS the goroutine pool),
-		// so it gets the concurrent-code discipline checks instead.
+		// fleet IS the goroutine pool (its one `go` statement carries a
+		// reasoned //lint:allow desdeterminism), so it also gets the
+		// concurrent-code discipline checks.
 		"internal/fleet",
 	),
 	Run: runLockDiscipline,

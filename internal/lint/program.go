@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Program is a set of packages loaded and type-checked together under one
+// Loader, the unit whole-program analyzers (DetTaint, AllocHygiene)
+// operate on. Cross-package analyses see exactly the packages in the
+// Program: pointing the driver at a subset of the module narrows their
+// view, which is why ci.sh loads ./internal/... and ./cmd/... together.
+type Program struct {
+	// Fset is the FileSet shared by every package in the program.
+	Fset *token.FileSet
+	// Packages, sorted by import path.
+	Packages []*Package
+
+	byPath map[string]*Package
+}
+
+// LoadProgram loads every listed import path into one Program. A package
+// that fails to load aborts the whole program: a whole-program analysis
+// over a partial program would silently under-report.
+func (l *Loader) LoadProgram(paths []string) (*Program, error) {
+	prog := &Program{Fset: l.Fset(), byPath: make(map[string]*Package, len(paths))}
+	for _, path := range paths {
+		if prog.byPath[path] != nil {
+			continue
+		}
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, fmt.Errorf("lint: load program: %w", err)
+		}
+		prog.byPath[path] = pkg
+		prog.Packages = append(prog.Packages, pkg)
+	}
+	sort.Slice(prog.Packages, func(i, j int) bool {
+		return prog.Packages[i].Path < prog.Packages[j].Path
+	})
+	return prog, nil
+}
+
+// Package returns the loaded package with the given import path, or nil.
+func (p *Program) Package(path string) *Package {
+	return p.byPath[path]
+}
+
+// ProgramAnalyzer is one named whole-program pass. Unlike Analyzer there
+// is no AppliesTo filter: a whole-program pass decides internally which
+// functions matter (entry points, hot roots), and its diagnostics may
+// land in any package of the Program.
+type ProgramAnalyzer struct {
+	// Name identifies the analyzer in diagnostics and //lint:allow
+	// comments. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces
+	// and why.
+	Doc string
+	// Run inspects the program and reports findings through the pass.
+	Run func(*ProgramPass)
+}
+
+// ProgramPass carries one program analyzer's view of one Program.
+type ProgramPass struct {
+	Analyzer *ProgramAnalyzer
+	Prog     *Program
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos with an optional call chain
+// explaining how the flagged code is reached from an entry point.
+func (p *ProgramPass) Reportf(pos token.Pos, chain []ChainEntry, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Prog.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Chain:    chain,
+	})
+}
+
+// RunProgramAnalyzers executes the whole-program analyzers and returns
+// their raw (unsuppressed) diagnostics sorted by position. Suppression
+// and exemption accounting happen in RunSuite, which knows every
+// package's //lint:allow pragmas.
+func RunProgramAnalyzers(prog *Program, analyzers []*ProgramAnalyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &ProgramPass{Analyzer: a, Prog: prog}
+		a.Run(pass)
+		out = append(out, pass.diags...)
+	}
+	sortDiagnostics(out)
+	return out
+}

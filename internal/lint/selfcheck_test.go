@@ -1,0 +1,55 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"gridmutex/internal/lint"
+	"gridmutex/internal/lint/linttest"
+)
+
+// TestGridlintSelfCheck runs the complete suite — per-package analyzers,
+// whole-program taint and allocation hygiene, and the exemption audit —
+// over the repo itself, exactly as CI invokes gridlint. The tree must be
+// clean: every invariant violation is either fixed or carries a
+// reasoned, still-live //lint:allow pragma.
+func TestGridlintSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := loader.ModulePackages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	for _, p := range all {
+		if strings.HasPrefix(p, loader.ModulePath+"/internal/") || strings.HasPrefix(p, loader.ModulePath+"/cmd/") {
+			paths = append(paths, p)
+		}
+	}
+	if len(paths) == 0 {
+		t.Fatal("no module packages found")
+	}
+	prog, err := loader.LoadProgram(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range prog.Packages {
+		for _, e := range pkg.TypeErrors {
+			t.Errorf("%s: type error: %v", pkg.Path, e)
+		}
+	}
+
+	suite := lint.DefaultSuite()
+	result := lint.RunSuite(prog, suite)
+	if len(result.Diagnostics) != 0 {
+		t.Errorf("gridlint is not clean over the repo:\n%s", linttest.Describe(result.Diagnostics))
+	}
+	if audit := lint.AuditExemptions(result.Exemptions, suite.Names()); len(audit) != 0 {
+		t.Errorf("exemption audit is not clean over the repo:\n%s", linttest.Describe(audit))
+	}
+}

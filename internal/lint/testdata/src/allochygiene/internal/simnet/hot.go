@@ -1,0 +1,61 @@
+// Package simnet (corpus) exercises the hot-path allocation checks: the
+// package path puts it inside the analyzer's hot scope, and the root
+// function names (Send, Deliver) mark the entry points. Everything
+// flagged lives on a path reachable from a root; the same constructs in
+// Setup (not a root, not called from one) stay unreported.
+package simnet
+
+import "fmt"
+
+// Message mirrors the transport payload shape.
+type Message struct {
+	Kind string
+	Size int
+}
+
+// Net is the corpus network.
+type Net struct {
+	names  map[int]string
+	counts map[string]int64
+	sink   func(Message)
+}
+
+// Send is a hot root by name.
+func (n *Net) Send(to int, m Message) {
+	f := func() { n.deliver(to, m) } // want `function literal on the hot path allocates its closure environment per event`
+	f()
+	key := n.names[to] + m.Kind // want `string concatenation on the hot path allocates per event`
+	n.counts[key]++
+}
+
+// deliver is not a root by name but is reachable from Send, so its body
+// is scanned too.
+func (n *Net) deliver(to int, m Message) {
+	if n.counts == nil {
+		n.counts = make(map[string]int64) // want `make\(map\) on the hot path allocates per event`
+	}
+	fmt.Printf("deliver %d\n", to) // want `fmt.Printf on the hot path boxes every argument`
+	n.box(m)                       // want `struct value m boxed into interface parameter on the hot path`
+}
+
+// box takes an interface parameter; deliver's struct-typed argument is
+// boxed at the call site — flagged there, in box's caller.
+func (n *Net) box(v any) { _ = v }
+
+// Deliver is a hot root exercising new and boxing.
+func (n *Net) Deliver(m Message) {
+	p := new(Message) // want `new\(Message\) on the hot path allocates per event`
+	*p = m
+	n.box(m) // want `struct value m boxed into interface parameter on the hot path`
+	if m.Size < 0 {
+		panic(fmt.Sprintf("bad size %d", m.Size)) // panic formatting is cold: no finding
+	}
+}
+
+// Setup shares every flagged construct but is neither a root nor
+// reachable from one: construction-time allocation is fine.
+func (n *Net) Setup(procs int) {
+	n.names = make(map[int]string)
+	n.counts = make(map[string]int64)
+	n.sink = func(m Message) { fmt.Println("setup sink", m.Kind+"!") }
+}

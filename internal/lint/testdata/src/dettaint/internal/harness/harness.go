@@ -1,0 +1,28 @@
+// Package harness mimics a DES entry package (its path ends in
+// internal/harness, which is on the entry list). The package is clean
+// under the file-local desdeterminism pass — every nondeterminism source
+// lives one package over, in util — so all want annotations sit in
+// util's sources.
+package harness
+
+import "dettaint/internal/util"
+
+// Run is an exported entry point; everything it reaches is in the DES
+// slice of the program.
+func Run(reps int) int64 {
+	var acc int64
+	for i := 0; i < reps; i++ {
+		acc += util.Stamp()
+		acc += int64(util.Pick())
+	}
+	util.Background(func() {})
+	return acc
+}
+
+// internalOnly is unexported, so it is not a root; it is also never
+// called. The wall-clock read inside stays unreported: unexported dead
+// code in an entry package is desdeterminism's business (which does
+// cover this package in the real tree), not taint's.
+func internalOnly() int64 {
+	return util.Stamp()
+}

@@ -1,0 +1,43 @@
+// Package bad seeds unfenced inter-cluster sends: a payload struct with
+// no Epoch, Level, or Round field, and a send whose static type is the
+// bare Message interface.
+package bad
+
+// Message mirrors the mutex transport contract the analyzer keys on.
+type Message interface {
+	Kind() string
+	Size() int
+}
+
+// ID is the process identifier.
+type ID uint64
+
+// Env is the transport with the (ID, Message) send shape.
+type Env interface {
+	Send(to ID, m Message)
+	Local(f func())
+}
+
+// Request carries state but no fence: stale-epoch requests would be
+// indistinguishable from live ones at the receiver.
+type Request struct {
+	From ID
+	Seq  uint64
+}
+
+func (r Request) Kind() string { return "request" }
+func (r Request) Size() int    { return 16 }
+
+type node struct {
+	env Env
+}
+
+func (n *node) broadcast(peers []ID) {
+	for _, p := range peers {
+		n.env.Send(p, Request{From: 1, Seq: 2}) // want `send of Request{…} \(type Request\) is not epoch-fenced: no Epoch, Level, or Round field`
+	}
+}
+
+func (n *node) forward(to ID, m Message) {
+	n.env.Send(to, m) // want `send of interface-typed message m cannot be proven epoch-fenced`
+}

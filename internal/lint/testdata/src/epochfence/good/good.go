@@ -1,0 +1,70 @@
+// Package good covers every accepted fence shape: an Epoch field, a
+// Level field through an embedded envelope, an int Round, a content-free
+// heartbeat, and a pointer to a fenced struct.
+package good
+
+type Message interface {
+	Kind() string
+	Size() int
+}
+
+type ID uint64
+
+type Env interface {
+	Send(to ID, m Message)
+}
+
+// Epoch numbers token generations.
+type Epoch uint64
+
+// Level indexes the composition layer.
+type Level uint8
+
+// Wrapped is the epoch wrapper.
+type Wrapped struct {
+	E     Epoch
+	Inner Message
+}
+
+func (w Wrapped) Kind() string { return w.Inner.Kind() }
+func (w Wrapped) Size() int    { return w.Inner.Size() + 8 }
+
+// Envelope carries the level fence.
+type Envelope struct {
+	Level Level
+	Inner Message
+}
+
+func (e Envelope) Kind() string { return e.Inner.Kind() }
+func (e Envelope) Size() int    { return e.Inner.Size() + 1 }
+
+// pooledEnvelope embeds the fence.
+type pooledEnvelope struct {
+	Envelope
+}
+
+// Heartbeat is content-free: nothing a stale epoch could corrupt.
+type Heartbeat struct{}
+
+func (Heartbeat) Kind() string { return "heartbeat" }
+func (Heartbeat) Size() int    { return 1 }
+
+// ProbeAck is fenced by round number.
+type ProbeAck struct {
+	Round int
+}
+
+func (ProbeAck) Kind() string { return "probe-ack" }
+func (ProbeAck) Size() int    { return 9 }
+
+type node struct {
+	env Env
+}
+
+func (n *node) sendAll(to ID, inner Message) {
+	n.env.Send(to, Wrapped{E: 1, Inner: inner})
+	n.env.Send(to, Envelope{Level: 0, Inner: inner})
+	n.env.Send(to, &pooledEnvelope{})
+	n.env.Send(to, Heartbeat{})
+	n.env.Send(to, ProbeAck{Round: 3})
+}

@@ -1,0 +1,48 @@
+// Package bad seeds freelist lifecycle violations: a pooled box that can
+// leak on an early return, a use after the box goes back on the list,
+// and three ways of retaining a box past its delivery.
+package bad
+
+type box struct {
+	payload int
+}
+
+type pool struct {
+	boxes []*box
+	last  *box
+	kept  []*box
+	hooks []func() int
+}
+
+func send(b *box) {}
+
+// LeakOnReturn pops a box but the error path returns before the box is
+// sent or put back: the box leaks.
+func (p *pool) LeakOnReturn(fail bool) {
+	var b *box
+	if n := len(p.boxes); n > 0 {
+		b = p.boxes[n-1] // want `pooled b popped from the freelist reaches a return without a send, return, or put`
+		p.boxes = p.boxes[:n-1]
+	} else {
+		b = new(box)
+	}
+	if fail {
+		return
+	}
+	send(b)
+}
+
+// UseAfterPut reads the box after pushing it back on the freelist.
+func (p *pool) UseAfterPut(b *box) int {
+	p.boxes = append(p.boxes, b)
+	return b.payload // want `pooled b used after its freelist put`
+}
+
+// Retain stores the box where it outlives the delivery.
+func (p *pool) Retain(b *box) {
+	p.last = b                 // want `pooled b stored into p.last outlives its delivery`
+	p.kept = append(p.kept, b) // want `pooled b appended to non-freelist slice p.kept`
+	p.hooks = append(p.hooks, func() int {
+		return b.payload // want `pooled b captured by closure outlives its delivery`
+	})
+}

@@ -35,6 +35,13 @@ var VirtualTime = &Analyzer{
 		"internal/check",
 		"internal/harness",
 		"internal/reliable",
+		// trace and stats consume virtual timestamps wholesale (event logs,
+		// response-time aggregation) and fleet forwards per-job deadlines;
+		// none of them is the latency model, so literal mixing is as wrong
+		// there as in the algorithms.
+		"internal/trace",
+		"internal/stats",
+		"internal/fleet",
 	),
 	Run: runVirtualTime,
 }

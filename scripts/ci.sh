@@ -30,16 +30,34 @@ go test -race -run 'TestParallel|TestMap' ./internal/harness/ ./internal/fleet/
 echo "==> allocation regression: steady-state send/deliver must stay <= 1 alloc/message"
 go test -run 'Allocs' ./internal/des/ ./internal/simnet/
 
-echo "==> benchmark record (BENCH_5.json): parallel vs serial figure regeneration"
-# BENCH_3.json is the committed pre-optimization record; BENCH_5.json is
-# regenerated here so the hot-path speedup (DESIGN.md §10) stays auditable.
-go run ./cmd/gridbench -experiment fig4a -scale quick -parallel 4 -json BENCH_5.json -q >/dev/null
+echo "==> benchmark guard: regenerate fig4a into a temp record, compare against committed BENCH_5.json"
+# BENCH_3.json is the committed pre-optimization record and BENCH_5.json
+# the committed post-optimization one (DESIGN.md §10). Neither is
+# rewritten here: the fresh run lands in a temp file and benchcmp checks
+# it reproduces the committed record byte for byte (figures, event
+# count) with throughput above an environment-tunable floor
+# (BENCHCMP_TOLERANCE) — so the audited records stay fixed and the
+# worktree stays clean.
+bench_tmp="$(mktemp -t bench5.XXXXXX.json)"
+trap 'rm -f "$bench_tmp"' EXIT
+go run ./cmd/gridbench -experiment fig4a -scale quick -parallel 4 -json "$bench_tmp" -q >/dev/null
+go run ./cmd/benchcmp -baseline BENCH_5.json -fresh "$bench_tmp"
 
 echo "==> fuzz targets, 10s each"
 go test -fuzz=FuzzDecode -fuzztime=10s -run '^$' ./internal/livenet/wire
 go test -fuzz=FuzzLoad -fuzztime=10s -run '^$' ./internal/topology
 
-echo "==> gridlint ./..."
-go run ./cmd/gridlint ./...
+echo "==> gridlint (whole program: per-package + cross-package taint/alloc analyzers)"
+# One program over internal/... and cmd/... so the call-graph analyzers
+# see every cross-package edge; the JSON artifact keeps call chains for
+# findings machine-readable.
+go run ./cmd/gridlint -json ./internal/... ./cmd/... > gridlint.json || {
+    cat gridlint.json
+    echo "gridlint: non-exempt findings (see gridlint.json)" >&2
+    exit 1
+}
+
+echo "==> gridlint exemption audit: every //lint:allow must be live, known, and reasoned"
+go run ./cmd/gridlint -audit ./internal/... ./cmd/...
 
 echo "CI green"
