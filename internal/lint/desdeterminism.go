@@ -47,6 +47,10 @@ var DESDeterminism = &Analyzer{
 		// `go` statement it needs carries a //lint:allow pragma with the
 		// DESIGN.md §8 justification instead of a blanket package opt-out.
 		"internal/fleet",
+		// scenario compiles declarative fixtures onto the simulation stack
+		// and promises byte-identical verdicts per seed, so it obeys the
+		// same determinism rules as the packages it drives.
+		"internal/scenario",
 	),
 	Run: runDESDeterminism,
 }

@@ -1,7 +1,6 @@
 package reliable
 
 import (
-	"fmt"
 	"testing"
 	"testing/quick"
 	"time"
@@ -153,54 +152,11 @@ func TestOnLinkFailureCallback(t *testing.T) {
 	}
 }
 
-// TestComposedCompletionAtLossRates is the end-to-end loss matrix: the full
-// two-level composition over a lossy simulated grid with the reliable layer
-// and the virtual-time retransmission timer completes every critical
-// section with zero safety violations, at both light and heavy loss.
-func TestComposedCompletionAtLossRates(t *testing.T) {
-	for _, loss := range []float64{0.05, 0.20} {
-		loss := loss
-		t.Run(fmt.Sprintf("loss=%g", loss), func(t *testing.T) {
-			sim := des.New()
-			grid := topology.Uniform(3, 4, time.Millisecond, 16*time.Millisecond)
-			inner := simnet.New(sim, grid, simnet.Options{Loss: loss, Seed: 21})
-			rel := Wrap(inner, sim, Options{RTO: 60 * time.Millisecond})
-			mon := check.NewMonitor(sim)
-			runner, err := workload.NewRunner(sim, workload.Params{
-				Alpha: 5 * time.Millisecond, Rho: 15, Dist: workload.Exponential,
-				CSPerProcess: 8, Seed: 21,
-			}, mon)
-			if err != nil {
-				t.Fatal(err)
-			}
-			d, err := core.BuildComposed(rel, grid, core.Spec{Intra: "naimi", Inter: "naimi"}, runner.Callbacks)
-			if err != nil {
-				t.Fatal(err)
-			}
-			runner.Bind(d.Apps)
-			runner.Start()
-			if err := sim.RunCapped(10_000_000); err != nil {
-				t.Fatalf("did not drain: %v (outstanding %d, stats %+v)", err, runner.Outstanding(), rel.Stats())
-			}
-			mon.AssertQuiescent()
-			if !mon.Ok() {
-				t.Fatalf("violations under %g loss: %v", loss, mon.Violations()[0])
-			}
-			if !runner.Done() {
-				t.Fatalf("liveness under %g loss: %d outstanding", loss, runner.Outstanding())
-			}
-			if got, want := len(runner.Records()), runner.ExpectedTotal(); got != want {
-				t.Fatalf("completed %d of %d critical sections", got, want)
-			}
-			if rel.Stats().GivenUp != 0 {
-				t.Errorf("%d packets abandoned at %g loss", rel.Stats().GivenUp, loss)
-			}
-			if !rel.Quiesced() {
-				t.Error("unacknowledged packets remain after drain")
-			}
-		})
-	}
-}
+// The end-to-end loss matrix (composition completing at 5% and 20% loss)
+// is declarative now: testdata/scenarios/lossy-composition-{5,20}.yaml,
+// run by internal/scenario's corpus sweep. The two tests below stay as
+// the Go-coded guards: one positive (completion under loss with the
+// wrapper) and one negative (stall without it).
 
 // TestComposedDeploymentSurvivesLoss: the full composition completes with
 // safety over a 15%-lossy grid once the reliable layer is in place.

@@ -1,0 +1,201 @@
+package scenario
+
+import (
+	"time"
+
+	"gridmutex/internal/stats"
+)
+
+// Metric is one named measurement of a run, in registry order.
+type Metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// metricDef is one entry of the registry: an extractor returning the
+// value and whether the run produced it (a recovery metric is undefined
+// on a plain run, a reliable metric on an unwrapped fabric).
+type metricDef struct {
+	name    string
+	extract func(o *runOutcome) (float64, bool)
+}
+
+// metricRegistry is the checker library's vocabulary: the names an
+// envelope may bound. Order is fixed — it is the order metrics appear in
+// verdicts, part of the byte-determinism contract.
+var metricRegistry = []metricDef{
+	{"grants", func(o *runOutcome) (float64, bool) {
+		return float64(len(o.records)), true
+	}},
+	{"events", func(o *runOutcome) (float64, bool) {
+		return float64(o.events), true
+	}},
+	{"virtual_ms", func(o *runOutcome) (float64, bool) {
+		return float64(o.elapsed) / float64(time.Millisecond), true
+	}},
+	{"mean_obtaining_ms", func(o *runOutcome) (float64, bool) {
+		return o.obtaining().Mean, len(o.records) > 0
+	}},
+	{"std_obtaining_ms", func(o *runOutcome) (float64, bool) {
+		return o.obtaining().Std, len(o.records) > 0
+	}},
+	{"p50_obtaining_ms", func(o *runOutcome) (float64, bool) {
+		return o.obtaining().P50, len(o.records) > 0
+	}},
+	{"p95_obtaining_ms", func(o *runOutcome) (float64, bool) {
+		return o.obtaining().P95, len(o.records) > 0
+	}},
+	{"p99_obtaining_ms", func(o *runOutcome) (float64, bool) {
+		return o.obtaining().P99, len(o.records) > 0
+	}},
+	{"max_obtaining_ms", func(o *runOutcome) (float64, bool) {
+		return o.obtaining().Max, len(o.records) > 0
+	}},
+	{"inter_msgs_per_cs", func(o *runOutcome) (float64, bool) {
+		return perCS(float64(o.counters.InterMessages), o), true
+	}},
+	{"intra_msgs_per_cs", func(o *runOutcome) (float64, bool) {
+		return perCS(float64(o.counters.IntraMessages), o), true
+	}},
+	{"total_msgs_per_cs", func(o *runOutcome) (float64, bool) {
+		return perCS(float64(o.counters.Messages), o), true
+	}},
+	{"inter_bytes_per_cs", func(o *runOutcome) (float64, bool) {
+		return perCS(float64(o.counters.InterBytes), o), true
+	}},
+	{"crashes", func(o *runOutcome) (float64, bool) {
+		return float64(o.mon.Crashes()), true
+	}},
+	{"crash_exits", func(o *runOutcome) (float64, bool) {
+		return float64(o.mon.CrashExits()), true
+	}},
+	{"epochs", func(o *runOutcome) (float64, bool) {
+		return float64(o.mon.Epochs()), o.recovery
+	}},
+	{"mean_recovery_ms", func(o *runOutcome) (float64, bool) {
+		s, ok := o.recoveryLatency()
+		return s.Mean, ok
+	}},
+	{"max_recovery_ms", func(o *runOutcome) (float64, bool) {
+		s, ok := o.recoveryLatency()
+		return s.Max, ok
+	}},
+	{"detector_share", func(o *runOutcome) (float64, bool) {
+		if !o.recovery || o.counters.Messages == 0 {
+			return 0, false
+		}
+		return float64(o.detectorMsgs()) / float64(o.counters.Messages), true
+	}},
+	{"retransmits", func(o *runOutcome) (float64, bool) {
+		if o.rel == nil {
+			return 0, false
+		}
+		return float64(o.rel.Stats().Retransmits), true
+	}},
+	{"given_up", func(o *runOutcome) (float64, bool) {
+		if o.rel == nil {
+			return 0, false
+		}
+		return float64(o.rel.Stats().GivenUp), true
+	}},
+	{"switches", func(o *runOutcome) (float64, bool) {
+		return float64(o.switches), o.sc.System.Adaptive
+	}},
+	{"dropped", func(o *runOutcome) (float64, bool) {
+		return float64(o.counters.Dropped), true
+	}},
+	{"dropped_dead", func(o *runOutcome) (float64, bool) {
+		return float64(o.counters.DroppedDead), true
+	}},
+}
+
+// perCS normalizes a counter by the number of critical sections entered.
+func perCS(v float64, o *runOutcome) float64 {
+	if len(o.records) == 0 {
+		return 0
+	}
+	return v / float64(len(o.records))
+}
+
+// KnownMetric reports whether name is in the registry — validation
+// rejects envelopes over unknown names at load time.
+func KnownMetric(name string) bool {
+	for _, d := range metricRegistry {
+		if d.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// MetricNames returns the registry vocabulary in registry order.
+func MetricNames() []string {
+	out := make([]string, len(metricRegistry))
+	for i, d := range metricRegistry {
+		out[i] = d.name
+	}
+	return out
+}
+
+// measure extracts every defined metric in registry order.
+func measure(o *runOutcome) []Metric {
+	var out []Metric
+	for _, d := range metricRegistry {
+		if v, ok := d.extract(o); ok {
+			out = append(out, Metric{Name: d.name, Value: v})
+		}
+	}
+	return out
+}
+
+// metricValue resolves one named metric against an outcome.
+func metricValue(o *runOutcome, name string) (float64, bool) {
+	for _, d := range metricRegistry {
+		if d.name == name {
+			return d.extract(o)
+		}
+	}
+	return 0, false
+}
+
+// obtaining lazily summarizes the obtaining-time distribution in
+// milliseconds with exact percentiles (Retain sorts once; sample counts
+// per scenario are small by design).
+func (o *runOutcome) obtaining() stats.Summary {
+	if o.obtainSummary == nil {
+		acc := stats.Accumulator{Retain: true}
+		for _, r := range o.records {
+			acc.Push(float64(r.Obtaining()) / float64(time.Millisecond))
+		}
+		s := acc.Summarize()
+		o.obtainSummary = &s
+	}
+	return *o.obtainSummary
+}
+
+// recoveryLatency summarizes crash-to-regeneration delays in ms.
+func (o *runOutcome) recoveryLatency() (stats.Summary, bool) {
+	lats := o.mon.RecoveryLatencies()
+	if len(lats) == 0 {
+		return stats.Summary{}, false
+	}
+	acc := stats.Accumulator{}
+	for _, d := range lats {
+		acc.Push(float64(d) / float64(time.Millisecond))
+	}
+	return acc.Summarize(), true
+}
+
+// detectorKinds are the message kinds the recovery layer adds (mirrors
+// harness.detectorKinds).
+var detectorKinds = []string{"rec.hb", "rec.probe", "rec.ack", "rec.epoch"}
+
+// detectorMsgs totals failure-detector traffic (KindCounts is enabled on
+// recovery runs).
+func (o *runOutcome) detectorMsgs() int64 {
+	var n int64
+	for _, k := range detectorKinds {
+		n += o.counters.ByKind[k]
+	}
+	return n
+}

@@ -1,0 +1,326 @@
+// Package scenario implements the declarative conformance suite: a
+// scenario file declares a topology, a workload, a fault schedule, the
+// algorithm pair under test and an expectation block (invariants plus
+// metric envelopes); the engine compiles it onto the simnet / faults /
+// recovery stack, runs it deterministically and emits a structured
+// verdict with per-invariant pass/fail and measured-vs-envelope deltas.
+//
+// The package splits loader / engine / checker-library:
+//
+//   - parse.go   — strict stdlib-only parser for the YAML-subset format
+//   - scenario.go — the typed model, strict decoding and validation
+//   - engine.go  — compiles a scenario onto a private Simulator and runs it
+//   - checkers.go — the invariant library evaluating expectations
+//   - metrics.go — the named-metric registry envelope checks draw from
+//   - verdict.go — the structured, byte-deterministic verdict
+//   - corpus.go  — directory sweeps with index-ordered parallel fan-out
+//
+// Determinism contract: running the same scenario file with the same seed
+// produces a byte-identical verdict JSON and (when tracing is enabled) a
+// byte-identical event trace, for every worker count — the same pinning
+// discipline as internal/fleet.
+package scenario
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The scenario file format is a small, strict YAML subset — just enough
+// structure for mappings, lists and scalars, with none of YAML's
+// ambiguity:
+//
+//	# comments run to end of line
+//	name: app-holder-crash
+//	topology:
+//	  kind: uniform        # nested mapping: exactly two more spaces
+//	  clusters: 3
+//	faults:
+//	  - kind: crash        # list of mappings: "- " plus aligned keys
+//	    node: 0
+//	    at: 50ms
+//	  - kind: restart
+//	    node: 0
+//	    at: 300ms
+//
+// Rules enforced by the parser (anything else is an error, never a
+// guess): indentation is spaces only, each nesting level is exactly two
+// columns deeper; duplicate keys in one mapping are rejected; a key with
+// no value on its line must be followed by a deeper block; list items and
+// mapping keys cannot mix at one level.
+
+// nodeKind discriminates parsed nodes.
+type nodeKind uint8
+
+const (
+	scalarNode nodeKind = iota
+	mapNode
+	listNode
+)
+
+// node is one vertex of the parsed document tree.
+type node struct {
+	kind   nodeKind
+	scalar string // scalarNode
+	line   int    // 1-based source line (for error messages)
+
+	keys []string         // mapNode: keys in file order
+	vals map[string]*node // mapNode
+
+	items []*node // listNode
+}
+
+// child returns the mapping value for key, or nil.
+func (n *node) child(key string) *node {
+	if n == nil || n.kind != mapNode {
+		return nil
+	}
+	return n.vals[key]
+}
+
+// line1 names a source line in errors.
+func line1(line int) string { return fmt.Sprintf("line %d", line) }
+
+// srcLine is one logical (non-blank, non-comment) line.
+type srcLine struct {
+	indent  int
+	content string
+	line    int
+}
+
+// Parse reads a scenario document into its node tree. It never panics on
+// malformed input; every rejection names the offending line.
+func Parse(data []byte) (*node, error) {
+	lines, err := splitLines(string(data))
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("scenario: empty document")
+	}
+	if lines[0].indent != 0 {
+		return nil, fmt.Errorf("scenario: %s: document must start at column 0", line1(lines[0].line))
+	}
+	root, next, err := parseBlock(lines, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	if next != len(lines) {
+		return nil, fmt.Errorf("scenario: %s: unexpected indentation", line1(lines[next].line))
+	}
+	if root.kind != mapNode {
+		return nil, fmt.Errorf("scenario: document root must be a mapping, not a list")
+	}
+	return root, nil
+}
+
+// splitLines strips comments and blanks and measures indentation. Tabs in
+// leading whitespace are rejected — silently treating a tab as one column
+// is how YAML indentation bugs are born.
+func splitLines(text string) ([]srcLine, error) {
+	var out []srcLine
+	for i, raw := range strings.Split(text, "\n") {
+		lineNo := i + 1
+		// Strip comments: a '#' at line start or preceded by a space.
+		// Values never contain '#' in this format, so no quoting is
+		// needed.
+		if idx := commentStart(raw); idx >= 0 {
+			raw = raw[:idx]
+		}
+		if strings.TrimSpace(raw) == "" {
+			continue
+		}
+		indent := 0
+		for indent < len(raw) && raw[indent] == ' ' {
+			indent++
+		}
+		if indent < len(raw) && raw[indent] == '\t' {
+			return nil, fmt.Errorf("scenario: %s: tab in indentation (spaces only)", line1(lineNo))
+		}
+		content := strings.TrimRight(raw[indent:], " \t")
+		if strings.ContainsRune(content, '\t') {
+			return nil, fmt.Errorf("scenario: %s: tab character in content", line1(lineNo))
+		}
+		if indent%2 != 0 {
+			return nil, fmt.Errorf("scenario: %s: indentation of %d columns is not a multiple of two", line1(lineNo), indent)
+		}
+		out = append(out, srcLine{indent: indent, content: content, line: lineNo})
+	}
+	return out, nil
+}
+
+// commentStart returns the byte offset where a comment begins, or -1.
+func commentStart(raw string) int {
+	for i := 0; i < len(raw); i++ {
+		if raw[i] != '#' {
+			continue
+		}
+		if i == 0 || raw[i-1] == ' ' || raw[i-1] == '\t' {
+			return i
+		}
+	}
+	return -1
+}
+
+// parseBlock parses the maximal run of lines at exactly the given indent
+// into one node (a mapping or a list, depending on the first line), and
+// returns the index of the first unconsumed line.
+func parseBlock(lines []srcLine, i, indent int) (*node, int, error) {
+	if isListItem(lines[i].content) {
+		return parseList(lines, i, indent)
+	}
+	return parseMap(lines, i, indent)
+}
+
+// isListItem reports whether a content line introduces a list element.
+func isListItem(content string) bool {
+	return content == "-" || strings.HasPrefix(content, "- ")
+}
+
+// parseMap parses `key: value` lines at one indent level.
+func parseMap(lines []srcLine, i, indent int) (*node, int, error) {
+	n := &node{kind: mapNode, vals: make(map[string]*node), line: lines[i].line}
+	for i < len(lines) {
+		ln := lines[i]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, 0, fmt.Errorf("scenario: %s: unexpected indentation (expected %d columns, got %d)",
+				line1(ln.line), indent, ln.indent)
+		}
+		if isListItem(ln.content) {
+			return nil, 0, fmt.Errorf("scenario: %s: list item amid mapping keys", line1(ln.line))
+		}
+		key, rest, err := splitKey(ln)
+		if err != nil {
+			return nil, 0, err
+		}
+		if _, dup := n.vals[key]; dup {
+			return nil, 0, fmt.Errorf("scenario: %s: duplicate key %q", line1(ln.line), key)
+		}
+		var child *node
+		if rest != "" {
+			child = &node{kind: scalarNode, scalar: rest, line: ln.line}
+			i++
+		} else {
+			// Block value: the next line must be exactly one level deeper.
+			if i+1 >= len(lines) || lines[i+1].indent <= indent {
+				return nil, 0, fmt.Errorf("scenario: %s: key %q has no value", line1(ln.line), key)
+			}
+			if lines[i+1].indent != indent+2 {
+				return nil, 0, fmt.Errorf("scenario: %s: block under %q must be indented exactly two more columns",
+					line1(lines[i+1].line), key)
+			}
+			child, i, err = parseBlock(lines, i+1, indent+2)
+			if err != nil {
+				return nil, 0, err
+			}
+		}
+		n.keys = append(n.keys, key)
+		n.vals[key] = child
+	}
+	return n, i, nil
+}
+
+// parseList parses `- item` lines at one indent level. A dash followed by
+// `key: value` opens a mapping item whose further keys sit two columns
+// deeper than the dash, aligned with the first key:
+//
+//	- kind: crash
+//	  node: 0
+func parseList(lines []srcLine, i, indent int) (*node, int, error) {
+	n := &node{kind: listNode, line: lines[i].line}
+	for i < len(lines) {
+		ln := lines[i]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, 0, fmt.Errorf("scenario: %s: unexpected indentation (expected %d columns, got %d)",
+				line1(ln.line), indent, ln.indent)
+		}
+		if !isListItem(ln.content) {
+			return nil, 0, fmt.Errorf("scenario: %s: mapping key amid list items", line1(ln.line))
+		}
+		if ln.content == "-" {
+			return nil, 0, fmt.Errorf("scenario: %s: bare dash (empty list item)", line1(ln.line))
+		}
+		rest := strings.TrimPrefix(ln.content, "- ")
+		if rest == "" || strings.HasPrefix(rest, " ") {
+			return nil, 0, fmt.Errorf("scenario: %s: malformed list item", line1(ln.line))
+		}
+		if looksLikeKey(rest) {
+			// Mapping item: replay the inline first entry as a virtual
+			// line at indent+2 and let parseMap consume the aligned
+			// continuation keys.
+			virtual := srcLine{indent: indent + 2, content: rest, line: ln.line}
+			sub := []srcLine{virtual}
+			j := i + 1
+			for j < len(lines) && lines[j].indent >= indent+2 && !(lines[j].indent == indent && isListItem(lines[j].content)) {
+				sub = append(sub, lines[j])
+				j++
+			}
+			item, consumed, err := parseMap(sub, 0, indent+2)
+			if err != nil {
+				return nil, 0, err
+			}
+			if consumed != len(sub) {
+				return nil, 0, fmt.Errorf("scenario: %s: unexpected indentation in list item", line1(sub[consumed].line))
+			}
+			n.items = append(n.items, item)
+			i = j
+		} else {
+			n.items = append(n.items, &node{kind: scalarNode, scalar: rest, line: ln.line})
+			i++
+		}
+	}
+	return n, i, nil
+}
+
+// looksLikeKey reports whether a list-item body opens a mapping
+// (`key: value` or `key:`). A colon inside a plain scalar (e.g. a matrix
+// row) does not count: keys are bare identifiers.
+func looksLikeKey(s string) bool {
+	idx := strings.Index(s, ":")
+	if idx <= 0 {
+		return false
+	}
+	if idx+1 < len(s) && s[idx+1] != ' ' {
+		return false
+	}
+	return validKey(s[:idx])
+}
+
+// splitKey splits a mapping line into key and (possibly empty) value.
+func splitKey(ln srcLine) (key, rest string, err error) {
+	idx := strings.Index(ln.content, ":")
+	if idx <= 0 {
+		return "", "", fmt.Errorf("scenario: %s: expected `key: value`, got %q", line1(ln.line), ln.content)
+	}
+	key = ln.content[:idx]
+	if !validKey(key) {
+		return "", "", fmt.Errorf("scenario: %s: invalid key %q", line1(ln.line), key)
+	}
+	rest = strings.TrimSpace(ln.content[idx+1:])
+	return key, rest, nil
+}
+
+// validKey accepts lower_snake identifiers — the only key shape the
+// schema uses.
+func validKey(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z':
+		case c >= '0' && c <= '9':
+		case c == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,362 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"gridmutex/internal/algorithms"
+	"gridmutex/internal/workload"
+)
+
+// Topology kinds.
+const (
+	TopoUniform  = "uniform"
+	TopoGrid5000 = "grid5000"
+	TopoMatrix   = "matrix"
+)
+
+// Clusters returns the scenario's cluster count.
+func (sc *Scenario) Clusters() int {
+	switch sc.Topology.Kind {
+	case TopoGrid5000:
+		return 9
+	case TopoMatrix:
+		if sc.Topology.Matrix != nil {
+			return len(sc.Topology.Matrix.Names)
+		}
+		return 0
+	default:
+		return sc.Topology.Clusters
+	}
+}
+
+// ReservedNodes returns how many infrastructure nodes the system under
+// test occupies at the front of every cluster: none for a flat
+// deployment, the coordinator for a composition, coordinator plus
+// standby for a crash-tolerant one.
+func (sc *Scenario) ReservedNodes() int {
+	switch {
+	case sc.System.Flat != "":
+		return 0
+	case sc.System.Recovery:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// NodesPerCluster returns application processes plus reserved nodes.
+func (sc *Scenario) NodesPerCluster() int {
+	return sc.Topology.AppsPerCluster + sc.ReservedNodes()
+}
+
+// Validate normalizes defaults and rejects every inconsistency the
+// engine would otherwise have to guess about. It is called by Load; a
+// hand-built Scenario must call it before Run.
+func (sc *Scenario) Validate() error {
+	if sc.Name == "" {
+		return fmt.Errorf("scenario: name is required")
+	}
+	if !validName(sc.Name) {
+		return fmt.Errorf("scenario: name %q must be lowercase letters, digits and dashes", sc.Name)
+	}
+	if err := sc.validateTopology(); err != nil {
+		return err
+	}
+	if err := sc.validateSystem(); err != nil {
+		return err
+	}
+	if err := sc.validateWorkload(); err != nil {
+		return err
+	}
+	if err := sc.validateNetwork(); err != nil {
+		return err
+	}
+	if err := sc.validateFaults(); err != nil {
+		return err
+	}
+	return sc.validateExpect()
+}
+
+func validName(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z':
+		case c >= '0' && c <= '9':
+		case c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (sc *Scenario) validateTopology() error {
+	t := &sc.Topology
+	if t.Kind == "" {
+		t.Kind = TopoUniform
+	}
+	switch t.Kind {
+	case TopoUniform:
+		if t.Clusters == 0 {
+			t.Clusters = 3
+		}
+		if t.Clusters < 1 {
+			return fmt.Errorf("scenario: topology needs at least one cluster")
+		}
+		if t.Matrix != nil {
+			return fmt.Errorf("scenario: inline matrix requires kind: matrix")
+		}
+		if t.LocalRTT == 0 {
+			t.LocalRTT = time.Millisecond
+		}
+		if t.RemoteRTT == 0 {
+			t.RemoteRTT = 20 * time.Millisecond
+		}
+	case TopoGrid5000:
+		if t.Clusters != 0 && t.Clusters != 9 {
+			return fmt.Errorf("scenario: grid5000 has 9 clusters, not %d", t.Clusters)
+		}
+		t.Clusters = 9
+		if t.Matrix != nil {
+			return fmt.Errorf("scenario: inline matrix requires kind: matrix")
+		}
+	case TopoMatrix:
+		if t.Matrix == nil {
+			return fmt.Errorf("scenario: kind: matrix requires an inline matrix block")
+		}
+		if t.Clusters != 0 && t.Clusters != len(t.Matrix.Names) {
+			return fmt.Errorf("scenario: clusters %d contradicts the %d-cluster inline matrix",
+				t.Clusters, len(t.Matrix.Names))
+		}
+		t.Clusters = len(t.Matrix.Names)
+	default:
+		return fmt.Errorf("scenario: unknown topology kind %q (uniform/grid5000/matrix)", t.Kind)
+	}
+	if t.AppsPerCluster == 0 {
+		t.AppsPerCluster = 3
+	}
+	if t.AppsPerCluster < 1 {
+		return fmt.Errorf("scenario: apps_per_cluster must be at least 1")
+	}
+	return nil
+}
+
+func (sc *Scenario) validateSystem() error {
+	s := &sc.System
+	if s.Flat != "" {
+		if s.Intra != "" || s.Inter != "" {
+			return fmt.Errorf("scenario: flat excludes intra/inter")
+		}
+		if s.Adaptive || s.Recovery {
+			return fmt.Errorf("scenario: flat excludes adaptive and recovery")
+		}
+		if s.LocalBias != 0 {
+			return fmt.Errorf("scenario: local_bias needs a composition")
+		}
+		if _, err := algorithms.Factory(s.Flat); err != nil {
+			return fmt.Errorf("scenario: %v", err)
+		}
+	} else {
+		if s.Intra == "" || s.Inter == "" {
+			return fmt.Errorf("scenario: system needs intra and inter (or flat)")
+		}
+		if _, err := algorithms.Factory(s.Intra); err != nil {
+			return fmt.Errorf("scenario: intra: %v", err)
+		}
+		if _, err := algorithms.Factory(s.Inter); err != nil {
+			return fmt.Errorf("scenario: inter: %v", err)
+		}
+	}
+	if s.Adaptive && s.Recovery {
+		return fmt.Errorf("scenario: adaptive and recovery cannot combine (the recovery layer wraps static members)")
+	}
+	if s.LocalBias < 0 {
+		return fmt.Errorf("scenario: local_bias must be non-negative")
+	}
+	if s.LocalBias > 0 && s.Recovery {
+		return fmt.Errorf("scenario: local_bias is not supported under recovery")
+	}
+	if s.Heartbeat != 0 && !s.Recovery {
+		return fmt.Errorf("scenario: heartbeat needs recovery: true")
+	}
+	if s.Recovery {
+		if s.Heartbeat == 0 {
+			s.Heartbeat = 20 * time.Millisecond
+		}
+		if s.Heartbeat <= 0 {
+			return fmt.Errorf("scenario: heartbeat must be positive")
+		}
+	}
+	return nil
+}
+
+func (sc *Scenario) validateWorkload() error {
+	w := &sc.Workload
+	if w.Alpha == 0 {
+		w.Alpha = 5 * time.Millisecond
+	}
+	if w.CSPerProcess == 0 {
+		w.CSPerProcess = 6
+	}
+	// Delegate the cross-field rules to the workload package so the
+	// scenario format can never accept parameters the runner rejects.
+	params := workload.Params{
+		Alpha: w.Alpha, Rho: w.Rho, Phases: w.Phases, Dist: w.Dist,
+		CSPerProcess: w.CSPerProcess, HotCluster: w.HotCluster, HotSkew: w.HotSkew,
+	}
+	if err := params.Validate(); err != nil {
+		return fmt.Errorf("scenario: %v", err)
+	}
+	if w.HotCluster < 0 || w.HotCluster >= sc.Clusters() {
+		if w.HotSkew > 1 {
+			return fmt.Errorf("scenario: hot_cluster %d outside the %d-cluster grid", w.HotCluster, sc.Clusters())
+		}
+	}
+	return nil
+}
+
+func (sc *Scenario) validateNetwork() error {
+	n := &sc.Network
+	if n.Jitter < 0 || n.Jitter > 1 {
+		return fmt.Errorf("scenario: jitter %v outside [0, 1]", n.Jitter)
+	}
+	if n.Loss < 0 || n.Loss >= 1 {
+		return fmt.Errorf("scenario: loss %v outside [0, 1)", n.Loss)
+	}
+	if n.Loss > 0 && !n.Reliable {
+		return fmt.Errorf("scenario: loss %v needs reliable: true (the algorithms assume reliable channels)", n.Loss)
+	}
+	if !n.Reliable && (n.RTO != 0 || n.MaxRetries != 0) {
+		return fmt.Errorf("scenario: rto/max_retries need reliable: true")
+	}
+	if n.MaxRetries < 0 {
+		return fmt.Errorf("scenario: max_retries must be non-negative")
+	}
+	return nil
+}
+
+func (sc *Scenario) validateFaults() error {
+	total := sc.Clusters() * sc.NodesPerCluster()
+	for i, f := range sc.Faults {
+		ctx := fmt.Sprintf("scenario: fault %d (%s)", i, f.Kind)
+		switch f.Kind {
+		case FaultCrash, FaultRestart:
+			if f.Node < 0 || f.Node >= total {
+				return fmt.Errorf("%s: node %d outside the %d-node grid", ctx, f.Node, total)
+			}
+			if f.At <= 0 {
+				return fmt.Errorf("%s: needs a positive at instant", ctx)
+			}
+		case FaultCrashWindow:
+			switch f.Victims {
+			case VictimsApps:
+			case VictimsCoordinators, VictimsStandbys:
+				if sc.ReservedNodes() == 0 {
+					return fmt.Errorf("%s: %s victims need a composed deployment", ctx, f.Victims)
+				}
+				if f.Victims == VictimsStandbys && !sc.System.Recovery {
+					return fmt.Errorf("%s: standby victims need recovery: true", ctx)
+				}
+			default:
+				return fmt.Errorf("%s: unknown victim set %q (apps/coordinators/standbys)", ctx, f.Victims)
+			}
+			if f.Crashes < 1 {
+				return fmt.Errorf("%s: needs at least one crash", ctx)
+			}
+			if f.Horizon <= 0 {
+				return fmt.Errorf("%s: needs a positive horizon", ctx)
+			}
+			if f.MaxDown < f.MinDown {
+				return fmt.Errorf("%s: max_down %v before min_down %v", ctx, f.MaxDown, f.MinDown)
+			}
+		case FaultHolderKill:
+			if f.Target != "app" && f.Target != "coordinator" {
+				return fmt.Errorf("%s: unknown target %q (app/coordinator)", ctx, f.Target)
+			}
+			if f.Target == "coordinator" && sc.ReservedNodes() == 0 {
+				return fmt.Errorf("%s: coordinator target needs a composed deployment", ctx)
+			}
+			if f.Entry < 0 || f.Entry > sc.Workload.CSPerProcess {
+				return fmt.Errorf("%s: entry %d outside [0, %d] (0 draws from the seed)",
+					ctx, f.Entry, sc.Workload.CSPerProcess)
+			}
+			if f.Victim >= 0 {
+				if f.Victim >= total {
+					return fmt.Errorf("%s: victim %d outside the %d-node grid", ctx, f.Victim, total)
+				}
+				if f.Victim%sc.NodesPerCluster() < sc.ReservedNodes() {
+					return fmt.Errorf("%s: victim %d is an infrastructure node (apps start at offset %d per cluster)",
+						ctx, f.Victim, sc.ReservedNodes())
+				}
+			}
+		case "":
+			return fmt.Errorf("scenario: fault %d has no kind", i)
+		default:
+			return fmt.Errorf("scenario: fault %d has unknown kind %q", i, f.Kind)
+		}
+	}
+	return nil
+}
+
+func (sc *Scenario) validateExpect() error {
+	e := &sc.Expect
+	switch e.Complete {
+	case CompleteAll, CompleteSurvivors, CompleteNone:
+	default:
+		return fmt.Errorf("scenario: unknown completion mode %q (all/survivors/none)", e.Complete)
+	}
+	for _, v := range []struct {
+		name string
+		v    int
+	}{
+		{"crash_exits", e.CrashExits}, {"min_epochs", e.MinEpochs}, {"max_epochs", e.MaxEpochs},
+		{"min_switches", e.MinSwitches}, {"min_retransmits", e.MinRetransmits}, {"max_given_up", e.MaxGivenUp},
+	} {
+		if v.v < -1 {
+			return fmt.Errorf("scenario: expect.%s must be -1 (unchecked) or non-negative", v.name)
+		}
+	}
+	if e.MinEpochs >= 0 && e.MaxEpochs >= 0 && e.MinEpochs > e.MaxEpochs {
+		return fmt.Errorf("scenario: min_epochs %d above max_epochs %d", e.MinEpochs, e.MaxEpochs)
+	}
+	clusters := sc.Clusters()
+	for _, set := range [][]int{e.StandbyActivated, e.StandbyQuiet, e.ClusterComplete} {
+		for _, c := range set {
+			if c < 0 || c >= clusters {
+				return fmt.Errorf("scenario: expect names cluster %d outside the %d-cluster grid", c, clusters)
+			}
+		}
+	}
+	if !sc.System.Recovery && (len(e.StandbyActivated) > 0 || len(e.StandbyQuiet) > 0 || len(e.FrozenGroups) > 0) {
+		return fmt.Errorf("scenario: standby/frozen expectations need recovery: true")
+	}
+	if !sc.System.Recovery && (e.CrashExits > 0 || e.MinEpochs > 0) {
+		return fmt.Errorf("scenario: crash_exits/min_epochs expectations need recovery: true")
+	}
+	if e.MinSwitches >= 0 && !sc.System.Adaptive {
+		return fmt.Errorf("scenario: min_switches needs adaptive: true")
+	}
+	if (e.MinRetransmits >= 0 || e.MaxGivenUp >= 0) && !sc.Network.Reliable {
+		return fmt.Errorf("scenario: retransmit expectations need reliable: true")
+	}
+	seen := make(map[string]bool, len(e.Envelopes))
+	for i, env := range e.Envelopes {
+		if !KnownMetric(env.Metric) {
+			return fmt.Errorf("scenario: envelope %d bounds unknown metric %q (known: %v)",
+				i, env.Metric, MetricNames())
+		}
+		if !env.HasMin && !env.HasMax {
+			return fmt.Errorf("scenario: envelope %d on %q has neither min nor max", i, env.Metric)
+		}
+		if env.HasMin && env.HasMax && env.Min > env.Max {
+			return fmt.Errorf("scenario: envelope %d on %q has min %v above max %v", i, env.Metric, env.Min, env.Max)
+		}
+		if seen[env.Metric] {
+			return fmt.Errorf("scenario: duplicate envelope for metric %q", env.Metric)
+		}
+		seen[env.Metric] = true
+	}
+	return nil
+}

@@ -43,9 +43,27 @@ trap 'rm -f "$bench_tmp"' EXIT
 go run ./cmd/gridbench -experiment fig4a -scale quick -parallel 4 -json "$bench_tmp" -q >/dev/null
 go run ./cmd/benchcmp -baseline BENCH_5.json -fresh "$bench_tmp"
 
+echo "==> scenario conformance corpus (parallel sweep under -race, JSON verdicts archived)"
+# The declarative acceptance suite (DESIGN.md §11): every fixture under
+# testdata/scenarios/ must produce a passing verdict, swept in parallel so
+# the race detector sees the fleet fan-out. The JSON verdict dump is the
+# CI artifact — byte-identical across runs by the determinism contract,
+# so a diff against a previous run pinpoints exactly which invariant or
+# metric moved.
+go test -race -run 'TestCorpus|TestBroken|TestVerdictDeterminism|TestParallelCorpus' -count=1 ./internal/scenario/
+go run ./cmd/gridscenario -json testdata/scenarios > scenario-verdicts.json
+# The committed broken fixtures must FAIL (exit 1) and name their
+# offending invariant — proving the checker library can reject, not just
+# rubber-stamp. An exit status of 0 here is itself the failure.
+if go run ./cmd/gridscenario testdata/scenarios/broken >/dev/null 2>&1; then
+    echo "ci: broken scenario fixtures unexpectedly passed" >&2
+    exit 1
+fi
+
 echo "==> fuzz targets, 10s each"
 go test -fuzz=FuzzDecode -fuzztime=10s -run '^$' ./internal/livenet/wire
 go test -fuzz=FuzzLoad -fuzztime=10s -run '^$' ./internal/topology
+go test -fuzz=FuzzLoadScenario -fuzztime=10s -run '^$' ./internal/scenario
 
 echo "==> gridlint (whole program: per-package + cross-package taint/alloc analyzers)"
 # One program over internal/... and cmd/... so the call-graph analyzers
