@@ -1,12 +1,16 @@
 // Command benchcmp compares a freshly generated gridbench record against
-// the committed baseline (BENCH_5.json) without touching it, so CI can
-// verify the benchmark still reproduces instead of silently overwriting
-// the audited record.
+// a committed baseline (BENCH_5.json for the classic event loop,
+// BENCH_8.json for the window-barrier scheduler) without touching it, so
+// CI can verify the benchmark still reproduces instead of silently
+// overwriting the audited record.
 //
 // Usage:
 //
 //	gridbench -experiment fig4a -scale quick -parallel 4 -json "$tmp" -q
 //	benchcmp -baseline BENCH_5.json -fresh "$tmp"
+//
+//	gridbench -experiment fig4a -scale quick -lps 4 -json "$tmp" -q
+//	benchcmp -baseline BENCH_8.json -fresh "$tmp"
 //
 // Three properties are checked, in decreasing order of strictness:
 //
@@ -39,6 +43,7 @@ type record struct {
 	Cells        int               `json:"cells"`
 	Runs         int               `json:"runs"`
 	Events       int64             `json:"events"`
+	LPs          int               `json:"lps"`
 	EventsPerSec float64           `json:"events_per_sec"`
 	Identical    bool              `json:"identical"`
 	Figures      map[string]string `json:"figures"`
@@ -94,6 +99,12 @@ func run(args []string) int {
 	}
 	if base.Cells != fresh.Cells || base.Runs != fresh.Runs {
 		fail("coverage mismatch: baseline %d cells/%d runs vs fresh %d cells/%d runs", base.Cells, base.Runs, fresh.Cells, fresh.Runs)
+	}
+	// Any lps >= 1 replays the same windowed schedule, so records differing
+	// only in LP worker count are comparable; the classic event loop
+	// (lps = 0) draws differently-sharded random streams and is not.
+	if (base.LPs >= 1) != (fresh.LPs >= 1) {
+		fail("scheduler mismatch: baseline lps=%d vs fresh lps=%d — the window scheduler and the classic event loop draw different random streams", base.LPs, fresh.LPs)
 	}
 	if base.Events != fresh.Events {
 		fail("determinism violation: baseline processed %d events, fresh %d — same configuration must replay the same schedule", base.Events, fresh.Events)

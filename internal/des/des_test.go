@@ -193,6 +193,44 @@ func TestRunCappedFinishesUnderBudget(t *testing.T) {
 	}
 }
 
+// TestRunCappedBoundary pins the cap's boundary semantics: the error
+// means "the budget ran out with work still pending", so a queue that
+// drains on exactly the limit-th event is a clean nil — only a queue
+// that still holds events once limit have run is a livelock finding.
+func TestRunCappedBoundary(t *testing.T) {
+	const events = 10
+	for _, tc := range []struct {
+		limit   uint64
+		wantErr bool
+	}{
+		{limit: events - 1, wantErr: true},
+		{limit: events, wantErr: false},
+		{limit: events + 1, wantErr: false},
+	} {
+		s := New()
+		ran := 0
+		for i := 0; i < events; i++ {
+			s.At(Time(i)*time.Millisecond, func() { ran++ })
+		}
+		err := s.RunCapped(tc.limit)
+		if tc.wantErr {
+			if _, ok := err.(MaxEventsExceeded); !ok {
+				t.Errorf("limit %d: error %v, want MaxEventsExceeded", tc.limit, err)
+			}
+			if ran != int(tc.limit) {
+				t.Errorf("limit %d: executed %d events before stopping, want %d", tc.limit, ran, tc.limit)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("limit %d: drained queue reported %v, want nil", tc.limit, err)
+		}
+		if ran != events {
+			t.Errorf("limit %d: executed %d events, want %d", tc.limit, ran, events)
+		}
+	}
+}
+
 func TestReentrantRunPanics(t *testing.T) {
 	s := New()
 	s.After(0, func() {

@@ -1,0 +1,250 @@
+// windows.go implements conservative parallel simulation in the
+// Chandy-Misra style: the event space is partitioned into logical
+// processes (LPs), each owning a private Simulator, and a lookahead — a
+// lower bound on the latency of any cross-LP message — defines windows
+// of virtual time inside which the LPs cannot affect each other and may
+// therefore execute concurrently.
+//
+// Each window starts at base, the earliest pending instant across all
+// LPs, and ends at base+lookahead. Every cross-LP message is emitted at
+// or after base and arrives at least lookahead later, i.e. at or after
+// the window's end — so no message sent during a window can be due
+// inside it, and every LP can safely drain its queue up to (exclusive)
+// the window end without synchronizing. Cross-LP sends are buffered per
+// source LP during the window and flushed into the destination queues at
+// the barrier, in source-index order, so the sequence numbers a
+// destination assigns — and with them the whole simulation — are a pure
+// function of the inputs, independent of how many OS threads ran the
+// window. The fan-out itself reuses internal/fleet, the one documented
+// goroutine island (DESIGN.md §8): jobs share no state, and the barrier
+// (fleet's WaitGroup) orders every buffered write before the flush reads
+// it.
+package des
+
+import (
+	"fmt"
+	"math"
+
+	"gridmutex/internal/fleet"
+	"gridmutex/internal/mutex"
+)
+
+// maxTime is the largest representable virtual instant.
+const maxTime = Time(math.MaxInt64)
+
+// crossMsg is one buffered inter-LP delivery, staged in the sending LP's
+// buffer until the window barrier.
+type crossMsg struct {
+	at   Time
+	dst  int32
+	from mutex.ID
+	h    mutex.Handler
+	msg  mutex.Message
+}
+
+// Windows schedules n logical processes under lookahead windows. It is
+// the parallel counterpart of Simulator's run loop: construct the LPs,
+// wire every model object to its home LP, then drive the whole system
+// with RunUntil/RunCapped on the Windows value instead of on a single
+// Simulator.
+type Windows struct {
+	lps       []*Simulator
+	lookahead Time
+	workers   int
+	// cross[src] is appended to only by src's LP while a window runs and
+	// drained only at the barrier, so the buffers need no locks.
+	cross [][]crossMsg
+}
+
+// NewWindows builds a window scheduler over n logical processes.
+// lookahead must be positive when n > 1 — a zero lookahead admits no
+// concurrency, and callers must fall back to a single Simulator instead.
+// workers caps how many LPs execute concurrently per window; 1 keeps
+// every event on the calling goroutine (the serial reference mode that
+// parallel runs must match byte for byte).
+func NewWindows(n int, lookahead Time, workers int) *Windows {
+	if n <= 0 {
+		panic(fmt.Sprintf("des: NewWindows with %d logical processes", n))
+	}
+	if n > 1 && lookahead <= 0 {
+		panic(fmt.Sprintf("des: NewWindows with %d LPs needs positive lookahead, got %v", n, lookahead))
+	}
+	w := &Windows{
+		lps:       make([]*Simulator, n),
+		lookahead: lookahead,
+		workers:   workers,
+		cross:     make([][]crossMsg, n),
+	}
+	for i := range w.lps {
+		w.lps[i] = New()
+	}
+	return w
+}
+
+// NumLPs returns the number of logical processes.
+func (w *Windows) NumLPs() int { return len(w.lps) }
+
+// LP returns the i-th logical process's simulator. Model objects homed
+// on LP i must schedule exclusively through it.
+func (w *Windows) LP(i int) *Simulator { return w.lps[i] }
+
+// CrossSend stages a typed delivery from LP src to LP dst at instant at.
+// It must be called from src's event context (the network layer calls it
+// while one of src's events executes), and at must be at least lookahead
+// beyond the current window's start — which any message whose latency is
+// at least the lookahead satisfies by construction. The delivery is
+// enqueued on dst at the next window barrier.
+func (w *Windows) CrossSend(src, dst int, at Time, h mutex.Handler, from mutex.ID, m mutex.Message) {
+	if h == nil {
+		panic("des: CrossSend with nil handler")
+	}
+	if dst < 0 || dst >= len(w.lps) {
+		panic(fmt.Sprintf("des: CrossSend to LP %d of %d", dst, len(w.lps)))
+	}
+	w.cross[src] = append(w.cross[src], crossMsg{at: at, dst: int32(dst), from: from, h: h, msg: m})
+}
+
+// flush drains every cross-LP buffer into the destination queues, in
+// source-index order — the deterministic merge that fixes the sequence
+// numbers destinations assign. Like the event queue's slots, drained
+// entries are not zeroed: the next window overwrites them.
+func (w *Windows) flush() {
+	for src := range w.cross {
+		buf := w.cross[src]
+		for i := range buf {
+			c := &buf[i]
+			w.lps[c.dst].AtDeliver(c.at, c.h, c.from, c.msg)
+		}
+		w.cross[src] = buf[:0]
+	}
+}
+
+// nextInstant returns the earliest pending instant across all LPs, or
+// false when every queue is empty.
+func (w *Windows) nextInstant() (Time, bool) {
+	var min Time
+	found := false
+	for _, lp := range w.lps {
+		if len(lp.queue.keys) == 0 {
+			continue
+		}
+		if at := lp.queue.keys[0].at; !found || at < min {
+			min, found = at, true
+		}
+	}
+	return min, found
+}
+
+// windowEnd computes the exclusive end of the window opening at base. A
+// single LP has no cross traffic to wait for, so its window is unbounded.
+func (w *Windows) windowEnd(base Time) Time {
+	if len(w.lps) == 1 {
+		return maxTime
+	}
+	end := base + w.lookahead
+	if end < base { // overflow: the rest of virtual time is one window
+		return maxTime
+	}
+	return end
+}
+
+// runWindow executes one window on every LP. Each LP's execution is a
+// pure function of its own queue — cross-LP output goes to the staging
+// buffers — so running them on one goroutine or several is
+// indistinguishable afterwards. budget bounds the events per LP within
+// the window (the livelock guard); the caller re-checks the global
+// budget at the barrier.
+func (w *Windows) runWindow(end Time, budget uint64) {
+	if len(w.lps) == 1 || w.workers <= 1 {
+		for _, lp := range w.lps {
+			lp.runBounded(end, budget)
+		}
+		return
+	}
+	// fleet.Map is the barrier: it returns only after every LP finished
+	// its window, and its WaitGroup orders all buffered cross-LP writes
+	// before the flush that reads them. Jobs never error; a panic
+	// re-raises lowest-index-first on this goroutine.
+	fleet.Map(len(w.lps), w.workers, func(i int) (struct{}, error) {
+		w.lps[i].runBounded(end, budget)
+		return struct{}{}, nil
+	})
+}
+
+// RunCapped drives windows until every queue drains, or the total event
+// budget is exhausted with work still pending — then it returns
+// MaxEventsExceeded, exactly like Simulator.RunCapped: a run whose
+// queues drain on the limit-th event is a clean nil.
+func (w *Windows) RunCapped(limit uint64) error {
+	start := w.Processed()
+	for {
+		w.flush()
+		base, ok := w.nextInstant()
+		if !ok {
+			return nil
+		}
+		done := w.Processed() - start
+		if done >= limit {
+			return MaxEventsExceeded{Limit: limit, Now: base}
+		}
+		w.runWindow(w.windowEnd(base), limit-done)
+	}
+}
+
+// RunUntil drives windows until no pending event is due at or before
+// deadline, then advances every LP's clock to the deadline — the
+// windowed counterpart of Simulator.RunUntil.
+func (w *Windows) RunUntil(deadline Time) {
+	limit := deadline + 1 // runBounded is exclusive; include events at the deadline
+	if limit < deadline {
+		limit = maxTime
+	}
+	for {
+		w.flush()
+		base, ok := w.nextInstant()
+		if !ok || base > deadline {
+			break
+		}
+		end := w.windowEnd(base)
+		if end > limit {
+			end = limit
+		}
+		w.runWindow(end, math.MaxUint64)
+	}
+	for _, lp := range w.lps {
+		lp.RunUntil(deadline)
+	}
+}
+
+// Processed returns the total events executed across all LPs.
+func (w *Windows) Processed() uint64 {
+	var sum uint64
+	for _, lp := range w.lps {
+		sum += lp.processed
+	}
+	return sum
+}
+
+// Pending returns the total events waiting across all LPs and staging
+// buffers.
+func (w *Windows) Pending() int {
+	n := 0
+	for _, lp := range w.lps {
+		n += len(lp.queue.keys)
+	}
+	for _, buf := range w.cross {
+		n += len(buf)
+	}
+	return n
+}
+
+// Now returns the frontier of virtual time: the latest LP clock.
+func (w *Windows) Now() Time {
+	var max Time
+	for _, lp := range w.lps {
+		if lp.now > max {
+			max = lp.now
+		}
+	}
+	return max
+}

@@ -1,0 +1,190 @@
+package des
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"gridmutex/internal/mutex"
+)
+
+// pingMsg is a minimal typed message for cross-LP traffic.
+type pingMsg struct{ n int }
+
+func (pingMsg) Kind() string { return "ping" }
+func (pingMsg) Size() int    { return 8 }
+
+// lpNode is a toy model process pinned to one LP: on every delivery it
+// logs the instant and bounces the message to the peer LP after the
+// link latency, until hops runs out.
+type lpNode struct {
+	w       *Windows
+	lp      int
+	peer    *lpNode
+	latency Time
+	log     *[]string
+}
+
+func (n *lpNode) Deliver(from mutex.ID, m mutex.Message) {
+	msg := m.(pingMsg)
+	sim := n.w.LP(n.lp)
+	*n.log = append(*n.log, fmt.Sprintf("lp%d@%v:%d", n.lp, sim.Now(), msg.n))
+	if msg.n == 0 {
+		return
+	}
+	n.w.CrossSend(n.lp, n.peer.lp, sim.Now()+n.latency, n.peer, mutex.ID(n.lp), pingMsg{n: msg.n - 1})
+}
+
+// pingPong builds a 2-LP system bouncing a message hops times over a
+// link of the given latency and returns the delivery log.
+func pingPong(workers int, hops int, latency Time) []string {
+	w := NewWindows(2, latency, workers)
+	var log []string
+	a := &lpNode{w: w, lp: 0, latency: latency, log: &log}
+	b := &lpNode{w: w, lp: 1, latency: latency, log: &log}
+	a.peer, b.peer = b, a
+	w.LP(0).AtDeliver(0, a, 1, pingMsg{n: hops})
+	if err := w.RunCapped(1_000_000); err != nil {
+		panic(err)
+	}
+	return log
+}
+
+// TestWindowsCrossLPDelivery drives a deterministic two-LP ping-pong and
+// checks instants and order.
+func TestWindowsCrossLPDelivery(t *testing.T) {
+	log := pingPong(1, 3, 5*time.Millisecond)
+	want := []string{
+		"lp0@0s:3",
+		"lp1@5ms:2",
+		"lp0@10ms:1",
+		"lp1@15ms:0",
+	}
+	if len(log) != len(want) {
+		t.Fatalf("log %v, want %v", log, want)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Errorf("log[%d] = %q, want %q", i, log[i], want[i])
+		}
+	}
+}
+
+// TestWindowsWorkerEquivalence is the core determinism contract: the
+// same model run with 1 worker and with many workers must produce the
+// same delivery sequence.
+func TestWindowsWorkerEquivalence(t *testing.T) {
+	serial := pingPong(1, 40, 3*time.Millisecond)
+	for _, workers := range []int{2, 4, 8} {
+		parallel := pingPong(workers, 40, 3*time.Millisecond)
+		if len(parallel) != len(serial) {
+			t.Fatalf("workers=%d: %d deliveries, want %d", workers, len(parallel), len(serial))
+		}
+		for i := range serial {
+			if parallel[i] != serial[i] {
+				t.Fatalf("workers=%d: delivery %d = %q, want %q", workers, i, parallel[i], serial[i])
+			}
+		}
+	}
+}
+
+// TestWindowsSingleLPUnbounded: one LP has no cross traffic, so its
+// window is the whole of virtual time regardless of the lookahead.
+func TestWindowsSingleLPUnbounded(t *testing.T) {
+	w := NewWindows(1, 0, 4) // zero lookahead is legal with a single LP
+	var fired []Time
+	for _, d := range []time.Duration{5, 1, 3} {
+		d := d * time.Hour
+		w.LP(0).At(d, func() { fired = append(fired, w.LP(0).Now()) })
+	}
+	if err := w.RunCapped(100); err != nil {
+		t.Fatalf("RunCapped: %v", err)
+	}
+	want := []Time{time.Hour, 3 * time.Hour, 5 * time.Hour}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Errorf("fired[%d] = %v, want %v", i, fired[i], want[i])
+		}
+	}
+	if w.Processed() != 3 {
+		t.Errorf("processed %d, want 3", w.Processed())
+	}
+}
+
+// TestWindowsZeroLookaheadPanics: multiple LPs with no lookahead admit
+// no concurrency; the constructor must refuse rather than deadlock or
+// serialize silently.
+func TestWindowsZeroLookaheadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewWindows(2, 0, 1) did not panic")
+		}
+	}()
+	NewWindows(2, 0, 1)
+}
+
+// TestWindowsRunCappedBoundary mirrors the Simulator boundary test: a
+// system draining on exactly the limit-th event returns nil.
+func TestWindowsRunCappedBoundary(t *testing.T) {
+	// The 3-hop ping-pong processes exactly 4 events.
+	run := func(limit uint64) error {
+		w := NewWindows(2, time.Millisecond, 1)
+		var log []string
+		a := &lpNode{w: w, lp: 0, latency: time.Millisecond, log: &log}
+		b := &lpNode{w: w, lp: 1, latency: time.Millisecond, log: &log}
+		a.peer, b.peer = b, a
+		w.LP(0).AtDeliver(0, a, 1, pingMsg{n: 3})
+		return w.RunCapped(limit)
+	}
+	if err := run(3); err == nil {
+		t.Error("limit 3: want MaxEventsExceeded, got nil")
+	}
+	if err := run(4); err != nil {
+		t.Errorf("limit 4 (exact drain): want nil, got %v", err)
+	}
+	if err := run(5); err != nil {
+		t.Errorf("limit 5: want nil, got %v", err)
+	}
+}
+
+// TestWindowsRunUntil: events at or before the deadline run, later ones
+// stay queued, and every LP clock lands on the deadline.
+func TestWindowsRunUntil(t *testing.T) {
+	w := NewWindows(2, time.Millisecond, 2)
+	var fired []string
+	w.LP(0).At(2*time.Millisecond, func() { fired = append(fired, "a") })
+	w.LP(1).At(4*time.Millisecond, func() { fired = append(fired, "b") })
+	w.LP(1).At(9*time.Millisecond, func() { fired = append(fired, "late") })
+	w.RunUntil(4 * time.Millisecond)
+	if len(fired) != 2 || fired[0] != "a" || fired[1] != "b" {
+		t.Fatalf("fired %v, want [a b] (deadline-instant event must run)", fired)
+	}
+	for i := 0; i < 2; i++ {
+		if now := w.LP(i).Now(); now != 4*time.Millisecond {
+			t.Errorf("LP %d clock at %v after RunUntil, want 4ms", i, now)
+		}
+	}
+	if w.Pending() != 1 {
+		t.Errorf("%d events pending, want 1", w.Pending())
+	}
+	w.RunUntil(10 * time.Millisecond)
+	if len(fired) != 3 {
+		t.Fatalf("fired %v, want the late event too", fired)
+	}
+}
+
+// TestWindowsLivelockGuard: a same-instant self-rescheduling loop inside
+// one LP must trip the cap, not spin forever.
+func TestWindowsLivelockGuard(t *testing.T) {
+	w := NewWindows(2, time.Millisecond, 1)
+	var loop func()
+	loop = func() { w.LP(0).After(time.Microsecond, loop) }
+	w.LP(0).After(0, loop)
+	err := w.RunCapped(500)
+	if _, ok := err.(MaxEventsExceeded); !ok {
+		t.Fatalf("error %v, want MaxEventsExceeded", err)
+	}
+}

@@ -147,6 +147,18 @@ type Scale struct {
 	// partials are merged by (system, ρ, rep) index, never by completion
 	// order.
 	Workers int
+	// LPs, when positive, runs each repetition on the conservative
+	// parallel scheduler (internal/des.Windows): one logical process per
+	// cluster with the topology's minimum inter-cluster one-way delay as
+	// lookahead, and up to LPs worker goroutines executing the windows.
+	// Outcomes are byte-identical for every positive value — LPs only
+	// caps the workers; LPs=1 runs the same windowed schedule serially.
+	// Ineligible configurations (adaptive inter level, reliable layer,
+	// loss, or a multi-cluster topology with zero inter-cluster latency)
+	// fall back to the classic single-simulator path. Note the windowed
+	// scheduler draws different (equally deterministic) random streams
+	// than the classic path: compare LP runs with LP runs.
+	LPs int
 }
 
 // Validate rejects degenerate experiment dimensions. Without it,
@@ -578,6 +590,9 @@ func runOnce(sys System, scale Scale, rho float64, seed int64) (outcome, error) 
 	g, err := grid(sys, scale)
 	if err != nil {
 		return outcome{}, err
+	}
+	if lpEligible(sys, scale, g) {
+		return runOnceLP(sys, scale, rho, seed)
 	}
 	sim := des.New()
 	var tr *trace.Tracer

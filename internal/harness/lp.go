@@ -1,0 +1,165 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"gridmutex/internal/core"
+	"gridmutex/internal/des"
+	"gridmutex/internal/mutex"
+	"gridmutex/internal/simnet"
+	"gridmutex/internal/topology"
+	"gridmutex/internal/trace"
+	"gridmutex/internal/workload"
+)
+
+// lpEligible reports whether a run can use the window-barrier scheduler.
+// The LP path shards every per-run mutable structure by cluster; features
+// that thread one shared object through the whole run — the adaptive
+// switching policy, the reliable retransmission layer and its loss model —
+// stay on the classic single-simulator path. A multi-cluster topology
+// with a zero inter-cluster latency admits no lookahead, so it falls back
+// to serial execution rather than deadlocking at a zero-width window.
+func lpEligible(sys System, scale Scale, g *topology.Grid) bool {
+	if scale.LPs < 1 || sys.AdaptiveInter || scale.Reliable || scale.Loss > 0 {
+		return false
+	}
+	if g.NumClusters() == 1 {
+		return true
+	}
+	lookahead, ok := g.MinInterOneWay()
+	return ok && lookahead > 0
+}
+
+// lpRunnerSeed derives the workload seed of one logical process. The salt
+// keeps these streams disjoint from simnet's per-LP jitter streams, which
+// mix the same run seed.
+func lpRunnerSeed(seed int64, lp int) int64 {
+	z := splitmix64(uint64(seed) ^ 0x6c62272e07bb0142)
+	return int64(splitmix64(z + 0x9e3779b97f4a7c15*uint64(lp+1)))
+}
+
+// runOnceLP is runOnce on the conservative parallel scheduler: one
+// logical process per cluster, lookahead from the topology's minimum
+// inter-cluster one-way delay, scale.LPs worker goroutines executing the
+// lookahead windows. Every run-scoped structure — workload runner, rng
+// stream, tracer, counter shard — is owned by one LP, and the cross-LP
+// results merge by LP index, so the outcome is byte-identical for every
+// worker count (the determinism contract the LP-equivalence CI pass
+// enforces). The random streams differ from the classic path's by
+// construction: LP results compare against LP results, never classic.
+func runOnceLP(sys System, scale Scale, rho float64, seed int64) (outcome, error) {
+	g, err := grid(sys, scale)
+	if err != nil {
+		return outcome{}, err
+	}
+	clusters := g.NumClusters()
+	lookahead, _ := g.MinInterOneWay() // zero for single-cluster grids: legal with one LP
+	win := des.NewWindows(clusters, lookahead, scale.LPs)
+
+	var tracers []*trace.Tracer
+	if scale.TraceCapacity > 0 {
+		tracers = make([]*trace.Tracer, clusters)
+		for i := range tracers {
+			tracers[i] = trace.New(win.LP(i).Now, scale.TraceCapacity)
+		}
+	}
+	net := simnet.NewLP(win, g, g.ClusterOf, simnet.Options{
+		Jitter: scale.Jitter, Seed: seed, Traces: tracers,
+	})
+
+	// One workload runner per LP, each drawing idle times from its own
+	// stream and recording grants locally; safety is re-derived from the
+	// merged records after the parallel phase (a live monitor would be
+	// shared mutable state across LPs).
+	runners := make([]*workload.Runner, clusters)
+	for i := range runners {
+		runners[i], err = workload.NewRunner(win.LP(i), workload.Params{
+			Alpha: scale.Alpha, Rho: rho, Phases: scale.Phases, Dist: workload.Exponential,
+			CSPerProcess: scale.CSPerProcess, Seed: lpRunnerSeed(seed, i),
+			HotCluster: scale.HotCluster, HotSkew: scale.HotSkew,
+		}, nil)
+		if err != nil {
+			return outcome{}, err
+		}
+	}
+	callbacks := func(id mutex.ID) mutex.Callbacks {
+		// Application IDs are topology node indices, so the owning
+		// runner is the node's cluster's.
+		return runners[g.ClusterOf(int(id))].Callbacks(id)
+	}
+
+	var coordOpts []func(*core.Coordinator)
+	if sys.LocalBias > 0 {
+		k := sys.LocalBias
+		coordOpts = append(coordOpts, func(c *core.Coordinator) { c.SetLocalBias(k) })
+	}
+	var d *core.Deployment
+	if sys.Flat != "" {
+		d, err = core.BuildFlat(net, g, sys.Flat, callbacks)
+	} else {
+		d, err = core.BuildComposed(net, g, sys.Spec, callbacks, coordOpts...)
+	}
+	if err != nil {
+		return outcome{}, err
+	}
+
+	// Partition the built apps by cluster and hand each runner its own.
+	byCluster := make([][]core.App, clusters)
+	for _, a := range d.Apps {
+		byCluster[a.Cluster] = append(byCluster[a.Cluster], a)
+	}
+	expected := 0
+	for i, r := range runners {
+		r.Bind(byCluster[i])
+		r.Start()
+		expected += r.ExpectedTotal()
+	}
+
+	// No liveness watchdog: its periodic tick is global state. A stalled
+	// run either drains with ungranted requests (caught by Done below)
+	// or livelocks into the event cap.
+	limit := uint64(expected)*10_000 + 1_000_000
+	if err := win.RunCapped(limit); err != nil {
+		outstanding := 0
+		for _, r := range runners {
+			outstanding += r.Outstanding()
+		}
+		return outcome{}, fmt.Errorf("did not drain: %w (outstanding %d)", err, outstanding)
+	}
+	parts := make([][]workload.Record, clusters)
+	for i, r := range runners {
+		parts[i] = r.Records()
+	}
+	records := workload.MergeRecords(parts)
+	mon := workload.ReplayMonitor(records, scale.Alpha)
+	mon.AssertQuiescent()
+	if !mon.Ok() {
+		return outcome{}, fmt.Errorf("property violation: %s", mon.Violations()[0])
+	}
+	for _, r := range runners {
+		if !r.Done() {
+			return outcome{}, fmt.Errorf("liveness: %d requests unsatisfied", r.Outstanding())
+		}
+	}
+	out := outcome{records: records, counters: net.Counters(), events: win.Processed()}
+	if scale.TraceCapacity > 0 {
+		out.traceDump = trace.Merge(tracers).Dump()
+	}
+	for _, c := range d.Coordinators {
+		out.handoffs += c.Stats().InterHandoffs
+		out.biasRounds += c.Stats().BiasRounds
+	}
+	return out, nil
+}
+
+// lookaheadFor reports the window scheduler's lookahead for a scale, for
+// documentation and benchmarking output. Zero means single-cluster (one
+// unbounded LP) or no usable lookahead.
+func lookaheadFor(g *topology.Grid) time.Duration {
+	if g.NumClusters() == 1 {
+		return 0
+	}
+	lookahead, _ := g.MinInterOneWay()
+	return lookahead
+}

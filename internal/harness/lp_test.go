@@ -1,0 +1,158 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"gridmutex/internal/topology"
+)
+
+// lpScale is a small-but-real configuration for the window scheduler:
+// jitter on, tracing on, several clusters.
+func lpScale(lps int) Scale {
+	s := QuickScale()
+	s.CSPerProcess = 5
+	s.Repetitions = 1
+	s.TraceCapacity = 1 << 17
+	s.LPs = lps
+	return s
+}
+
+// requireIdentical asserts two outcomes are byte-identical: trace dump,
+// records, counters and event count.
+func requireIdentical(t *testing.T, label string, a, b outcome) {
+	t.Helper()
+	if a.traceDump != b.traceDump {
+		t.Errorf("%s: different traces:\n%s", label, firstDiff(a.traceDump, b.traceDump))
+	}
+	if !reflect.DeepEqual(a.records, b.records) {
+		t.Errorf("%s: different workload records", label)
+	}
+	if !reflect.DeepEqual(a.counters, b.counters) {
+		t.Errorf("%s: different counters:\n  %+v\n  %+v", label, a.counters, b.counters)
+	}
+	if a.events != b.events {
+		t.Errorf("%s: processed %d vs %d events", label, a.events, b.events)
+	}
+}
+
+// TestLPWorkerIdentity is the tentpole contract: the windowed scheduler
+// must produce byte-identical outcomes whether its windows execute on 1
+// worker or many. Run with -race to also certify the parallel execution
+// is properly synchronized.
+func TestLPWorkerIdentity(t *testing.T) {
+	for _, sys := range []System{
+		Composed("naimi", "naimi"),
+		Composed("martin", "suzuki"),
+		Flat("central"),
+	} {
+		serial, err := runOnce(sys, lpScale(1), 6, 1)
+		if err != nil {
+			t.Fatalf("%s lps=1: %v", sys.Name, err)
+		}
+		if serial.traceDump == "" {
+			t.Fatalf("%s: empty trace; LP tracing not wired", sys.Name)
+		}
+		if len(serial.records) == 0 {
+			t.Fatalf("%s: no grants recorded", sys.Name)
+		}
+		for _, lps := range []int{2, 4, 8} {
+			par, err := runOnce(sys, lpScale(lps), 6, 1)
+			if err != nil {
+				t.Fatalf("%s lps=%d: %v", sys.Name, lps, err)
+			}
+			requireIdentical(t, sys.Name, serial, par)
+		}
+	}
+}
+
+// TestLPRepeatDeterminism: the LP path is deterministic per seed, like
+// the classic path.
+func TestLPRepeatDeterminism(t *testing.T) {
+	sys := Composed("naimi", "naimi")
+	a, err := runOnce(sys, lpScale(4), 6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runOnce(sys, lpScale(4), 6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, sys.Name, a, b)
+
+	c, err := runOnce(sys, lpScale(4), 6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.traceDump == a.traceDump {
+		t.Error("different seeds produced identical LP traces")
+	}
+}
+
+// TestLPSingleCluster: a one-cluster topology degenerates to one LP with
+// an unbounded window; the scheduler must still run to completion and
+// stay worker-count invariant.
+func TestLPSingleCluster(t *testing.T) {
+	scale := lpScale(1)
+	scale.Clusters = 1
+	sys := Flat("naimi")
+	serial, err := runOnce(sys, scale, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.records) == 0 {
+		t.Fatal("no grants")
+	}
+	scale.LPs = 4
+	par, err := runOnce(sys, scale, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, sys.Name, serial, par)
+}
+
+// TestLPZeroInterLatencyFallsBack: a multi-cluster matrix with zero
+// inter-cluster RTT admits no lookahead. The run must fall back to the
+// classic serial path — identical to LPs=0 — rather than deadlock.
+func TestLPZeroInterLatencyFallsBack(t *testing.T) {
+	zero := &topology.Matrix{
+		Names: []string{"a", "b"},
+		RTT: [][]time.Duration{
+			{time.Millisecond, 0},
+			{0, time.Millisecond},
+		},
+	}
+	scale := lpScale(4)
+	scale.CustomMatrix = zero
+	sys := Composed("naimi", "naimi")
+	lp, err := runOnce(sys, scale, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale.LPs = 0
+	classic, err := runOnce(sys, scale, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, "zero-latency fallback", lp, classic)
+}
+
+// TestLPIneligibleFallsBack: configurations the LP scheduler cannot
+// shard (reliable layer, loss, adaptive inter) run classically and still
+// produce their usual results.
+func TestLPIneligibleFallsBack(t *testing.T) {
+	scale := lpScale(4)
+	scale.Reliable = true
+	sys := Composed("naimi", "naimi")
+	lp, err := runOnce(sys, scale, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale.LPs = 0
+	classic, err := runOnce(sys, scale, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, "reliable fallback", lp, classic)
+}

@@ -26,6 +26,12 @@ type Options struct {
 	// of that many events to the run's fabric; the dump lands in
 	// Result.Trace. The determinism regression compares these dumps.
 	TraceCapacity int
+	// LPs, when at least 1, runs eligible scenarios on the conservative
+	// parallel scheduler with that many worker goroutines (see lp.go).
+	// The result is byte-identical for every LPs >= 1; scenarios the LP
+	// path cannot shard fall back to the classic serial run. Zero keeps
+	// everything on the classic path.
+	LPs int
 }
 
 // Result is one executed scenario: the verdict plus the optional trace.
@@ -64,6 +70,9 @@ func Run(sc *Scenario, opts Options) (*Result, error) {
 	g, err := buildGrid(sc)
 	if err != nil {
 		return nil, err
+	}
+	if lpEligible(sc, opts, g) {
+		return runLP(sc, opts, g)
 	}
 	sim := des.New()
 	var tr *trace.Tracer

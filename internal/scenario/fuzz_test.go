@@ -44,6 +44,9 @@ expect:
 	f.Add("name: t\nexpect:\n  envelopes:\n    - metric: no_such_invariant\n      max: 1\n")
 	f.Add("name: t\nsystem:\n  intra: bogus-algo\n  inter: naimi\n")
 	f.Add("name: t\nseed: 99999999999999999999\n")    // integer overflow
+	f.Add("name: t\nworkload:\n  alpha: 1h\n  rho: 1e18\nsystem:\n  intra: naimi\n  inter: naimi\n") // beta overflow
+	f.Add("name: t\nworkload:\n  rho: 1e300\nsystem:\n  intra: naimi\n  inter: naimi\n")
+	f.Add("name: t\nworkload:\n  alpha: 9h\n  phases:\n    - rho: 1e17\n      until: 1s\nsystem:\n  intra: naimi\n  inter: naimi\n  adaptive: true\n")
 	f.Add("name: \x00\x01\x02\n")                     // control bytes
 
 	f.Fuzz(func(t *testing.T, doc string) {

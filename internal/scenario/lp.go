@@ -1,0 +1,178 @@
+package scenario
+
+import (
+	"fmt"
+
+	"gridmutex/internal/core"
+	"gridmutex/internal/des"
+	"gridmutex/internal/mutex"
+	"gridmutex/internal/simnet"
+	"gridmutex/internal/topology"
+	"gridmutex/internal/trace"
+	"gridmutex/internal/workload"
+)
+
+// lpEligible reports whether a scenario can run on the window-barrier
+// scheduler. The LP path shards every run-scoped structure by cluster,
+// so features that thread one shared mutable object through the run —
+// recovery detectors, the adaptive switching policy, the reliable layer
+// and its loss model, fault injection — stay on the classic
+// single-simulator path. A multi-cluster topology with a zero
+// inter-cluster latency admits no lookahead and also falls back.
+func lpEligible(sc *Scenario, opts Options, g *topology.Grid) bool {
+	if opts.LPs < 1 || sc.System.Recovery || sc.System.Adaptive ||
+		sc.Network.Reliable || sc.Network.Loss > 0 || len(sc.Faults) > 0 {
+		return false
+	}
+	if g.NumClusters() == 1 {
+		return true
+	}
+	lookahead, ok := g.MinInterOneWay()
+	return ok && lookahead > 0
+}
+
+// lpRunnerSeed derives the workload seed of one logical process (same
+// derivation as the harness: the salt keeps these streams disjoint from
+// simnet's per-LP jitter streams, which mix the same scenario seed).
+func lpRunnerSeed(seed int64, lp int) int64 {
+	z := splitmix64(uint64(seed) ^ 0x6c62272e07bb0142)
+	return int64(splitmix64(z + 0x9e3779b97f4a7c15*uint64(lp+1)))
+}
+
+// runLP executes an eligible scenario on the conservative parallel
+// scheduler: one logical process per cluster, lookahead from the
+// topology's minimum inter-cluster one-way delay, opts.LPs worker
+// goroutines executing the lookahead windows. Safety is re-derived from
+// the merged grant records after the parallel phase (a live monitor
+// would be shared mutable state across LPs). The outcome is
+// byte-identical for every worker count; the random streams differ from
+// the classic path's by construction, so LP results compare against LP
+// results, never classic.
+func runLP(sc *Scenario, opts Options, g *topology.Grid) (*Result, error) {
+	clusters := g.NumClusters()
+	lookahead, _ := g.MinInterOneWay() // zero for single-cluster grids: legal with one LP
+	win := des.NewWindows(clusters, lookahead, opts.LPs)
+
+	var tracers []*trace.Tracer
+	if opts.TraceCapacity > 0 {
+		tracers = make([]*trace.Tracer, clusters)
+		for i := range tracers {
+			tracers[i] = trace.New(win.LP(i).Now, opts.TraceCapacity)
+		}
+	}
+	net := simnet.NewLP(win, g, g.ClusterOf, simnet.Options{
+		Jitter: sc.Network.Jitter, Seed: sc.Seed, Traces: tracers,
+	})
+
+	w := sc.Workload
+	runners := make([]*workload.Runner, clusters)
+	for i := range runners {
+		var err error
+		runners[i], err = workload.NewRunner(win.LP(i), workload.Params{
+			Alpha: w.Alpha, Rho: w.Rho, Phases: w.Phases, Dist: w.Dist,
+			CSPerProcess: w.CSPerProcess, Seed: lpRunnerSeed(sc.Seed, i),
+			HotCluster: w.HotCluster, HotSkew: w.HotSkew,
+		}, nil)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %v", sc.Name, err)
+		}
+	}
+	callbacks := func(id mutex.ID) mutex.Callbacks {
+		// Application IDs are topology node indices, so the owning
+		// runner is the node's cluster's.
+		return runners[g.ClusterOf(int(id))].Callbacks(id)
+	}
+
+	var coordOpts []func(*core.Coordinator)
+	if k := sc.System.LocalBias; k > 0 {
+		coordOpts = append(coordOpts, func(c *core.Coordinator) { c.SetLocalBias(k) })
+	}
+	var (
+		coreDep *core.Deployment
+		err     error
+	)
+	if sc.System.Flat != "" {
+		coreDep, err = core.BuildFlat(net, g, sc.System.Flat, callbacks)
+	} else {
+		coreDep, err = core.BuildComposed(net, g, core.Spec{Intra: sc.System.Intra, Inter: sc.System.Inter},
+			callbacks, coordOpts...)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %v", sc.Name, err)
+	}
+
+	byCluster := make([][]core.App, clusters)
+	for _, a := range coreDep.Apps {
+		byCluster[a.Cluster] = append(byCluster[a.Cluster], a)
+	}
+	expected := 0
+	for i, r := range runners {
+		r.Bind(byCluster[i])
+		r.Start()
+		expected += r.ExpectedTotal()
+	}
+
+	driveErr := driveLP(sc, win, runners, expected)
+
+	parts := make([][]workload.Record, clusters)
+	for i, r := range runners {
+		parts[i] = r.Records()
+	}
+	records := workload.MergeRecords(parts)
+	mon := workload.ReplayMonitor(records, w.Alpha)
+	if sc.Expect.Quiescent {
+		mon.AssertQuiescent()
+	}
+
+	o := &runOutcome{
+		sc:       sc,
+		records:  records,
+		events:   win.Processed(),
+		elapsed:  win.Now(),
+		counters: net.Counters(),
+		mon:      mon,
+		apps:     coreDep.Apps,
+		crashed:  map[int]bool{},
+		driveErr: driveErr,
+	}
+	var dump string
+	if opts.TraceCapacity > 0 {
+		dump = trace.Merge(tracers).Dump()
+	}
+	return &Result{Verdict: evaluate(o), Trace: dump}, nil
+}
+
+// driveLP is drive for the windowed scheduler. Recovery never reaches
+// this path, so only the bounded-horizon and plain-to-completion modes
+// exist. There is no liveness watchdog — its periodic tick is global
+// state — so a stall surfaces through the event cap or the final Done
+// check instead, with the same message shapes as the classic drive.
+func driveLP(sc *Scenario, win *des.Windows, runners []*workload.Runner, expected int) string {
+	limit := sc.Run.EventLimit
+	if limit == 0 {
+		limit = uint64(expected)*10_000 + 1_000_000
+	}
+	outstanding := func() int {
+		n := 0
+		for _, r := range runners {
+			n += r.Outstanding()
+		}
+		return n
+	}
+	if sc.Run.Horizon > 0 {
+		win.RunUntil(des.Time(sc.Run.Horizon))
+		if err := win.RunCapped(limit); err != nil {
+			return fmt.Sprintf("liveness: did not drain after horizon: %v", err)
+		}
+		return ""
+	}
+	if err := win.RunCapped(limit); err != nil {
+		return fmt.Sprintf("liveness: did not drain: %v (outstanding %d)", err, outstanding())
+	}
+	for _, r := range runners {
+		if !r.Done() {
+			return fmt.Sprintf("liveness: %d requests unsatisfied", outstanding())
+		}
+	}
+	return ""
+}

@@ -1,0 +1,116 @@
+package scenario
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+// TestLPCorpusIdentity is the tentpole contract at the scenario layer:
+// sweeping the whole committed corpus with one LP worker and with many
+// must produce byte-identical verdict JSON and event traces per
+// scenario. Eligible scenarios exercise the window-barrier scheduler;
+// ineligible ones fall back to the classic path on both sides and are
+// trivially identical. Run with -race to also certify the parallel
+// window execution is properly synchronized.
+func TestLPCorpusIdentity(t *testing.T) {
+	scs, err := LoadDir(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eligible := 0
+	for _, sc := range scs {
+		g, err := buildGrid(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lpEligible(sc, Options{LPs: 1}, g) {
+			eligible++
+		}
+	}
+	if eligible < 4 {
+		t.Fatalf("only %d corpus scenarios are LP-eligible; the identity sweep is near-vacuous", eligible)
+	}
+	for _, sc := range scs {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			serial, err := Run(sc, Options{TraceCapacity: 1 << 16, LPs: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, lps := range []int{2, 4} {
+				par, err := Run(sc, Options{TraceCapacity: 1 << 16, LPs: lps})
+				if err != nil {
+					t.Fatalf("lps=%d: %v", lps, err)
+				}
+				if !bytes.Equal(serial.Verdict.JSON(), par.Verdict.JSON()) {
+					t.Errorf("lps=1 vs lps=%d: verdict JSON differs:\n%s\n%s",
+						lps, serial.Verdict.JSON(), par.Verdict.JSON())
+				}
+				if serial.Trace != par.Trace {
+					t.Errorf("lps=1 vs lps=%d: event trace differs", lps)
+				}
+			}
+		})
+	}
+}
+
+// TestLPEligibleScenariosPass: every LP-eligible corpus scenario still
+// meets its declared expectations when run on the window scheduler —
+// the replay monitor, merged records and counters feed the checkers the
+// same way the live path does.
+func TestLPEligibleScenariosPass(t *testing.T) {
+	scs, err := LoadDir(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range scs {
+		g, err := buildGrid(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !lpEligible(sc, Options{LPs: 4}, g) {
+			continue
+		}
+		res, err := Run(sc, Options{LPs: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		if !res.Verdict.Pass {
+			t.Errorf("scenario %s failed under the LP scheduler:\n%s", sc.Name, res.Verdict.String())
+		}
+	}
+}
+
+// TestLPRepeatDeterminism: the LP path is deterministic per seed and
+// seed-sensitive, like the classic path.
+func TestLPRepeatDeterminism(t *testing.T) {
+	sc, err := LoadFile(filepath.Join(corpusDir, "baseline-naimi-naimi.yaml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{TraceCapacity: 1 << 16, LPs: 4}
+	a, err := Run(sc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(sc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Verdict.JSON(), b.Verdict.JSON()) || a.Trace != b.Trace {
+		t.Error("identical LP runs disagree")
+	}
+	if len(a.Trace) == 0 {
+		t.Error("trace capacity set but no events captured")
+	}
+	sc.Seed++
+	c, err := Run(sc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Trace == c.Trace {
+		t.Error("different seeds produced identical LP traces")
+	}
+}

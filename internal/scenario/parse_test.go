@@ -163,6 +163,9 @@ func TestLoadRejects(t *testing.T) {
 		{"negative rho", "name: t\nworkload:\n  rho: -3\nsystem:\n  intra: naimi\n  inter: naimi\n", "non-negative"},
 		{"negative duration", "name: t\nworkload:\n  alpha: -5ms\nsystem:\n  intra: naimi\n  inter: naimi\n", "non-negative"},
 		{"bad duration", "name: t\nworkload:\n  alpha: 5 ms\nsystem:\n  intra: naimi\n  inter: naimi\n", "not a duration"},
+		{"beta overflow", "name: t\nworkload:\n  alpha: 1h\n  rho: 1e18\nsystem:\n  intra: naimi\n  inter: naimi\n", "overflows the idle time"},
+		{"beta overflow default alpha", "name: t\nworkload:\n  rho: 1e18\nsystem:\n  intra: naimi\n  inter: naimi\n", "overflows the idle time"},
+		{"phase beta overflow", "name: t\nworkload:\n  alpha: 1h\n  phases:\n    - rho: 1\n      until: 1s\n    - rho: 1e18\n      until: 2s\nsystem:\n  intra: naimi\n  inter: naimi\n  adaptive: true\n", "phase 1 rho"},
 		{"no name", "system:\n  intra: naimi\n  inter: naimi\n", "name is required"},
 		{"bad name", "name: Has Spaces\nsystem:\n  intra: naimi\n  inter: naimi\n", "lowercase"},
 		{"no system", "name: t\n", "needs intra and inter"},

@@ -280,7 +280,7 @@ func decodeTopology(n *node, t *Topology) error {
 }
 
 func decodeWorkload(n *node, w *Workload) error {
-	return eachKey(n, "workload", map[string]func(*node) error{
+	err := eachKey(n, "workload", map[string]func(*node) error{
 		"alpha":          func(n *node) error { return dur(n, &w.Alpha) },
 		"rho":            func(n *node) error { return f64(n, &w.Rho) },
 		"dist":           func(n *node) error { return distVal(n, &w.Dist) },
@@ -301,6 +301,27 @@ func decodeWorkload(n *node, w *Workload) error {
 			})
 		},
 	})
+	if err != nil {
+		return err
+	}
+	// β = ρ·α must fit a time.Duration: past 2^63 nanoseconds the idle
+	// draws saturate and the workload degenerates to "never request
+	// again" — reject the parameters instead of running a vacuous
+	// scenario. The check uses the effective alpha (the default applies
+	// when the key is omitted).
+	alpha := w.Alpha
+	if alpha == 0 {
+		alpha = defaultAlpha
+	}
+	if w.Rho*float64(alpha) >= float64(math.MaxInt64) {
+		return fmt.Errorf("scenario: %s: rho %g with alpha %v overflows the idle time", line1(n.line), w.Rho, alpha)
+	}
+	for i, ph := range w.Phases {
+		if ph.Rho*float64(alpha) >= float64(math.MaxInt64) {
+			return fmt.Errorf("scenario: %s: phase %d rho %g with alpha %v overflows the idle time", line1(n.line), i, ph.Rho, alpha)
+		}
+	}
+	return nil
 }
 
 func decodeSystem(n *node, s *System) error {

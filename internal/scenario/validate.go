@@ -192,10 +192,14 @@ func (sc *Scenario) validateSystem() error {
 	return nil
 }
 
+// defaultAlpha is the critical-section duration assumed when a scenario
+// omits alpha; the loader's overflow check uses the same value.
+const defaultAlpha = 5 * time.Millisecond
+
 func (sc *Scenario) validateWorkload() error {
 	w := &sc.Workload
 	if w.Alpha == 0 {
-		w.Alpha = 5 * time.Millisecond
+		w.Alpha = defaultAlpha
 	}
 	if w.CSPerProcess == 0 {
 		w.CSPerProcess = 6

@@ -56,16 +56,29 @@ type Options struct {
 	// KindCounts enables the per-Message.Kind counter map
 	// (Counters.ByKind). It is opt-in because the map insert — a string
 	// hash per message — is the single most expensive accounting step;
-	// the default hot path touches no maps at all.
+	// the default hot path touches no maps at all. Unsupported on LP
+	// networks (NewLP), whose counter shards merge numerically.
 	KindCounts bool
+	// Traces, for NewLP networks only, records per logical process: entry
+	// i receives the sends and deliveries executed by LP i. Per-LP tracers
+	// keep tracing race-free and deterministic under parallel window
+	// execution; merge them with trace.Merge. Either empty or one entry
+	// per LP (nil entries disable tracing for that LP).
+	Traces []*trace.Tracer
 }
 
-// Network simulates the grid's message fabric.
+// Network simulates the grid's message fabric. It runs either over a
+// single simulator (New) or sharded across the logical processes of a
+// des.Windows scheduler (NewLP); in the latter case every piece of
+// mutable per-message state — rng streams, counters, tracers — is
+// partitioned by LP so parallel window execution stays race-free and
+// the outcome is independent of worker count.
 type Network struct {
-	sim  *des.Simulator
+	sims []*des.Simulator // one per LP; classic networks have exactly one
+	win  *des.Windows     // nil for classic single-simulator networks
 	grid gridModel
 	opts Options
-	rng  *rand.Rand
+	rngs []*rand.Rand // per-LP jitter/loss streams
 
 	// Dense per-process routing state, indexed by mutex.ID. The tables
 	// grow on demand because hierarchical deployments register
@@ -75,19 +88,23 @@ type Network struct {
 	sinks    []*sink   // per-process delivery interposers (typed des events)
 	// lastAt is the flat FIFO watermark, lastAt[from*len(handlers)+to]:
 	// the latest delivery instant scheduled on the ordered link, or -1
-	// when the link has carried nothing yet.
+	// when the link has carried nothing yet. Each entry is written only
+	// while executing the sender's LP, so the table needs no locking.
 	lastAt []des.Time
 
 	// Flat node×node tables precomputed from the gridModel once, so the
 	// per-message latency and intra/inter classification are single
 	// indexed loads instead of interface calls into nested slices.
-	nodes   int
-	oneWay  []des.Time
-	sameCl  []bool
-	jittery bool // opts.Jitter > 0
-	lossy   bool // opts.Loss > 0
+	nodes    int
+	oneWay   []des.Time
+	sameCl   []bool
+	lpOfNode []int32 // physical node -> LP index; all zero when classic
+	jittery  bool    // opts.Jitter > 0
+	lossy    bool    // opts.Loss > 0
 
-	counters Counters
+	// shards holds per-LP message accounting, merged by Counters().
+	shards  []Counters
+	tracers []*trace.Tracer // per-LP; entry nil = tracing off for that LP
 
 	// Crash state: down is nil until the first Crash, and anyDown caches
 	// len(down-set) > 0 so fault-free runs pay one branch per send.
@@ -105,6 +122,67 @@ type gridModel interface {
 
 // New builds a network over sim using grid latencies.
 func New(sim *des.Simulator, grid gridModel, opts Options) *Network {
+	if len(opts.Traces) > 0 {
+		panic("simnet: Options.Traces is for NewLP; classic networks use Options.Trace")
+	}
+	n := newNetwork(grid, opts)
+	n.sims = []*des.Simulator{sim}
+	n.rngs = []*rand.Rand{rng.New(opts.Seed)}
+	n.shards = make([]Counters, 1)
+	n.tracers = []*trace.Tracer{opts.Trace}
+	n.lpOfNode = make([]int32, n.nodes)
+	n.growProcs(n.nodes)
+	return n
+}
+
+// NewLP builds a network sharded across the logical processes of a
+// window scheduler: lpOf assigns each physical node to an LP (the
+// cluster partition, in the harness), messages between nodes of one LP
+// schedule on that LP's simulator, and messages crossing LPs route
+// through win.CrossSend so they arrive at the next window barrier.
+// Every inter-LP one-way latency must be at least the scheduler's
+// lookahead — the caller guarantees this by using the topology's
+// MinInterOneWay as the lookahead.
+//
+// Per-LP rng streams are derived from opts.Seed, so an LP network is a
+// different (but per-seed deterministic) random universe than a classic
+// network with the same seed: runs compare LP-vs-LP, not LP-vs-classic.
+func NewLP(win *des.Windows, grid gridModel, lpOf func(node int) int, opts Options) *Network {
+	if opts.KindCounts {
+		panic("simnet: KindCounts is unsupported on LP networks")
+	}
+	if opts.Trace != nil {
+		panic("simnet: Options.Trace is for New; LP networks trace per LP via Options.Traces")
+	}
+	k := win.NumLPs()
+	if len(opts.Traces) != 0 && len(opts.Traces) != k {
+		panic(fmt.Sprintf("simnet: %d tracers for %d LPs", len(opts.Traces), k))
+	}
+	n := newNetwork(grid, opts)
+	n.win = win
+	n.sims = make([]*des.Simulator, k)
+	n.rngs = make([]*rand.Rand, k)
+	for i := 0; i < k; i++ {
+		n.sims[i] = win.LP(i)
+		n.rngs[i] = rng.New(lpSeed(opts.Seed, i))
+	}
+	n.shards = make([]Counters, k)
+	n.tracers = make([]*trace.Tracer, k)
+	copy(n.tracers, opts.Traces)
+	n.lpOfNode = make([]int32, n.nodes)
+	for node := 0; node < n.nodes; node++ {
+		lp := lpOf(node)
+		if lp < 0 || lp >= k {
+			panic(fmt.Sprintf("simnet: node %d assigned to LP %d of %d", node, lp, k))
+		}
+		n.lpOfNode[node] = int32(lp)
+	}
+	n.growProcs(n.nodes)
+	return n
+}
+
+// newNetwork validates the options and builds the LP-independent part.
+func newNetwork(grid gridModel, opts Options) *Network {
 	if opts.Jitter < 0 {
 		panic("simnet: negative jitter")
 	}
@@ -113,10 +191,8 @@ func New(sim *des.Simulator, grid gridModel, opts Options) *Network {
 	}
 	nodes := grid.NumNodes()
 	n := &Network{
-		sim:     sim,
 		grid:    grid,
 		opts:    opts,
-		rng:     rng.New(opts.Seed),
 		nodes:   nodes,
 		oneWay:  make([]des.Time, nodes*nodes),
 		sameCl:  make([]bool, nodes*nodes),
@@ -130,8 +206,16 @@ func New(sim *des.Simulator, grid gridModel, opts Options) *Network {
 			n.sameCl[row+t] = grid.SameCluster(f, t)
 		}
 	}
-	n.growProcs(nodes)
 	return n
+}
+
+// lpSeed derives LP i's rng seed from the run seed through the
+// SplitMix64 finalizer, so neighbouring LPs draw unrelated streams.
+func lpSeed(base int64, i int) int64 {
+	z := uint64(base) + 0x9e3779b97f4a7c15*uint64(i+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
 }
 
 // growProcs widens the per-process tables to hold at least size IDs,
@@ -185,7 +269,7 @@ func (n *Network) RegisterAt(id mutex.ID, node int, h Handler) {
 	n.growProcs(int(id) + 1)
 	n.handlers[id] = h
 	n.nodeOf[id] = int32(node)
-	n.sinks[id] = &sink{net: n, to: id, toNode: int32(node)}
+	n.sinks[id] = &sink{net: n, to: id, toNode: int32(node), lp: n.lpOfNode[node]}
 }
 
 // Endpoint returns the mutex.Env bound to process id. The process must be
@@ -194,17 +278,39 @@ func (n *Network) Endpoint(id mutex.ID) mutex.Env {
 	return &endpoint{net: n, self: id}
 }
 
-// Counters returns a snapshot of the message accounting so far.
-func (n *Network) Counters() Counters { return n.counters }
+// Counters returns a snapshot of the message accounting so far. On LP
+// networks the per-LP shards are summed; do not call while a window is
+// executing in parallel.
+func (n *Network) Counters() Counters {
+	c := n.shards[0]
+	for i := 1; i < len(n.shards); i++ {
+		s := &n.shards[i]
+		c.Messages += s.Messages
+		c.Bytes += s.Bytes
+		c.IntraMessages += s.IntraMessages
+		c.IntraBytes += s.IntraBytes
+		c.InterMessages += s.InterMessages
+		c.InterBytes += s.InterBytes
+		c.Dropped += s.Dropped
+		c.DroppedDead += s.DroppedDead
+	}
+	return c
+}
 
 // ResetCounters zeroes the accounting (used to exclude warm-up phases).
-func (n *Network) ResetCounters() { n.counters = Counters{} }
+func (n *Network) ResetCounters() {
+	for i := range n.shards {
+		n.shards[i] = Counters{}
+	}
+}
 
-// Crash marks a physical node as failed: from this instant every message
-// sent by or addressed to a process hosted on it is silently discarded —
-// the fail-stop model. Messages already in flight still arrive (they left
-// before the crash); deliveries *to* a dead node are suppressed at
-// delivery time. Crashing a crashed node is a no-op.
+// Crash marks a physical node as failed: from this instant its processes
+// emit nothing, and any message addressed to it — whether sent before or
+// after the crash — is discarded if the node is still down when the
+// message would arrive; the fail-stop model. A node that Restarts while
+// a message is in flight receives it: whether a message is lost is a
+// property of the receiver's state at delivery time, never of the
+// instant it was sent. Crashing a crashed node is a no-op.
 func (n *Network) Crash(node int) {
 	n.checkNode(node)
 	if n.down == nil {
@@ -270,30 +376,29 @@ func (n *Network) send(from, to mutex.ID, m mutex.Message) {
 	}
 	fromNode, toNode := n.nodeOf[from], n.nodeOf[to]
 	// Fail-stop fault model: a dead sender emits nothing (its still-queued
-	// timers may fire, but nothing leaves the node), and anything addressed
-	// to a dead node vanishes. anyDown is false until the first Crash, so
-	// fault-free runs are byte-identical to builds without the fault model.
+	// timers may fire, but nothing leaves the node). anyDown is false until
+	// the first Crash, so fault-free runs are byte-identical to builds
+	// without the fault model. There is deliberately no dead-*destination*
+	// check here: whether a message is lost depends on the receiver's
+	// state when it arrives, not when it leaves — sink.Deliver classifies.
 	if n.anyDown && n.down[fromNode] {
 		return
 	}
+	srcLP := n.lpOfNode[fromNode]
 	pair := int(fromNode)*n.nodes + int(toNode)
-	n.counters.note(m, n.sameCl[pair], n.opts.KindCounts)
-	if n.opts.Trace != nil {
-		n.opts.Trace.Record(trace.Send, from, to, m.Kind())
+	n.shards[srcLP].note(m, n.sameCl[pair], n.opts.KindCounts)
+	if t := n.tracers[srcLP]; t != nil {
+		t.Record(trace.Send, from, to, m.Kind())
 	}
-	if n.anyDown && n.down[toNode] {
-		n.counters.DroppedDead++
-		return
-	}
-	if n.lossy && n.rng.Float64() < n.opts.Loss {
-		n.counters.Dropped++
+	if n.lossy && n.rngs[srcLP].Float64() < n.opts.Loss {
+		n.shards[srcLP].Dropped++
 		return
 	}
 	delay := n.oneWay[pair]
 	if n.jittery {
-		delay = time.Duration(float64(delay) * (1 + n.opts.Jitter*n.rng.Float64()))
+		delay = time.Duration(float64(delay) * (1 + n.opts.Jitter*n.rngs[srcLP].Float64()))
 	}
-	at := n.sim.Now() + delay
+	at := n.sims[srcLP].Now() + delay
 	// FIFO per ordered pair: never deliver before an earlier message on
 	// the same link. The watermark is -1 on untouched links, below any
 	// schedulable instant.
@@ -302,7 +407,16 @@ func (n *Network) send(from, to mutex.ID, m mutex.Message) {
 		at = last + time.Nanosecond
 	}
 	n.lastAt[link] = at
-	n.sim.AtDeliver(at, n.sinks[to], from, m)
+	s := n.sinks[to]
+	if s.lp != srcLP {
+		// Crossing LPs: buffer on the scheduler, which injects the
+		// delivery into the destination LP at the next window barrier.
+		// The inter-LP one-way delay is at least the lookahead, so `at`
+		// always lands beyond the destination's current window.
+		n.win.CrossSend(int(srcLP), int(s.lp), at, s, from, m)
+		return
+	}
+	n.sims[srcLP].AtDeliver(at, s, from, m)
 }
 
 // sink is the per-destination delivery interposer: it is the handler typed
@@ -315,17 +429,21 @@ type sink struct {
 	net    *Network
 	to     mutex.ID
 	toNode int32
+	lp     int32 // LP owning the destination node
 }
 
-// Deliver implements mutex.Handler for the delivery event.
+// Deliver implements mutex.Handler for the delivery event. It always
+// runs on the destination's LP — locally scheduled or injected at a
+// window barrier — so the shard and tracer indexed by s.lp are owned by
+// the executing goroutine.
 func (s *sink) Deliver(from mutex.ID, m mutex.Message) {
 	n := s.net
 	if n.anyDown && n.down[s.toNode] {
-		n.counters.DroppedDead++
+		n.shards[s.lp].DroppedDead++
 		return
 	}
-	if n.opts.Trace != nil {
-		n.opts.Trace.Record(trace.Deliver, from, s.to, m.Kind())
+	if t := n.tracers[s.lp]; t != nil {
+		t.Record(trace.Deliver, from, s.to, m.Kind())
 	}
 	n.handlers[s.to].Deliver(from, m)
 }
@@ -344,9 +462,16 @@ func (e *endpoint) Send(to mutex.ID, m mutex.Message) { e.net.send(e.self, to, m
 // and counters read only Kind and Size, at send or delivery time.
 func (e *endpoint) DeliversOnce() {}
 
-// Local schedules f at the current instant; FIFO ordering of the event
-// queue guarantees it runs after the handler that scheduled it.
-func (e *endpoint) Local(f func()) { e.net.sim.After(0, f) }
+// Local schedules f at the current instant on the process's own LP;
+// FIFO ordering of the event queue guarantees it runs after the handler
+// that scheduled it.
+func (e *endpoint) Local(f func()) {
+	n := e.net
+	if e.self < 0 || int(e.self) >= len(n.nodeOf) || n.nodeOf[e.self] < 0 {
+		panic(fmt.Sprintf("simnet: Local on unregistered process %d", e.self))
+	}
+	n.sims[n.lpOfNode[n.nodeOf[e.self]]].After(0, f)
+}
 
 // Counters aggregates message traffic, split the way the paper reports it.
 type Counters struct {
@@ -364,9 +489,11 @@ type Counters struct {
 	// in the send counts above).
 	Dropped int64
 	// DroppedDead counts messages discarded because their destination
-	// node was crashed at send or delivery time (fail-stop fault model).
-	// Messages a *dead sender* tries to emit are suppressed before any
-	// accounting and appear in no counter.
+	// node was crashed when the message arrived (fail-stop fault model);
+	// classification happens at delivery time, so a message in flight
+	// toward a node that restarts before it lands is delivered, not
+	// counted here. Messages a *dead sender* tries to emit are suppressed
+	// before any accounting and appear in no counter.
 	DroppedDead int64
 }
 

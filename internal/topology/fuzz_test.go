@@ -24,6 +24,11 @@ func FuzzLoad(f *testing.F) {
 	f.Add("from a b\na 0\n")
 	f.Add("")
 	f.Add("# only comments\n")
+	f.Add("from a b\na 0.000001 0.0001\nb 0.0005 0\n") // sub-millisecond RTTs
+	f.Add("from a\na 0.000489\n")
+	f.Add("from a b\na 0 9223372036854.775807\nb 1 0\n") // at the time.Duration edge
+	f.Add("from a\na 9223372036854.775808\n")            // one ns past MaxInt64: must reject
+	f.Add("from a\na 1e15\n")                            // overflows time.Duration
 
 	f.Fuzz(func(t *testing.T, data string) {
 		m, err := ParseMatrixSpec(strings.NewReader(data))
@@ -46,9 +51,16 @@ func FuzzLoad(f *testing.F) {
 				t.Fatalf("round trip changed name %d: %q -> %q", i, n, m2.Names[i])
 			}
 		}
-		// Formatting quantizes to microseconds, so text (not the raw
-		// durations) is the canonical form: one more round must be the
+		// Formatting carries nanosecond precision, so parsed durations
+		// must survive the trip exactly and one more round must be the
 		// identity.
+		for i := range m.RTT {
+			for j := range m.RTT[i] {
+				if m2.RTT[i][j] != m.RTT[i][j] {
+					t.Fatalf("round trip changed RTT[%d][%d]: %v -> %v", i, j, m.RTT[i][j], m2.RTT[i][j])
+				}
+			}
+		}
 		if text2 := m2.Format(); text2 != text {
 			t.Fatalf("format not a fixed point:\n%s\nvs\n%s", text, text2)
 		}

@@ -1,6 +1,7 @@
 package topology
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -103,21 +104,11 @@ func ParseMatrixSpec(r io.Reader) (*Matrix, error) {
 		}
 		row := make([]time.Duration, len(names))
 		for j, f := range fields[1:] {
-			ms, err := strconv.ParseFloat(f, 64)
+			d, err := parseMS(f)
 			if err != nil {
 				return nil, fmt.Errorf("topology: row %q column %d: %w", fields[0], j, err)
 			}
-			if math.IsNaN(ms) || math.IsInf(ms, 0) {
-				return nil, fmt.Errorf("topology: row %q column %d: RTT %q is not finite", fields[0], j, f)
-			}
-			if ms < 0 {
-				return nil, fmt.Errorf("topology: row %q column %d: negative RTT", fields[0], j)
-			}
-			ns := ms * float64(time.Millisecond)
-			if ns >= float64(math.MaxInt64) {
-				return nil, fmt.Errorf("topology: row %q column %d: RTT %q overflows", fields[0], j, f)
-			}
-			row[j] = time.Duration(ns)
+			row[j] = d
 		}
 		rtt[i] = row
 	}
@@ -125,9 +116,11 @@ func ParseMatrixSpec(r io.Reader) (*Matrix, error) {
 }
 
 // Format renders the matrix in the format ParseMatrixSpec reads, so
-// measured topologies round-trip through files. Durations are written
-// with microsecond (three decimal millisecond) precision — the resolution
-// of the paper's measurements — so formatting an already-formatted matrix
+// measured topologies round-trip through files. Durations are written in
+// milliseconds with up to nanosecond (six decimal) precision, trimmed to
+// at least the three decimals of the paper's measurements — so sub-
+// millisecond RTTs survive the round trip exactly, and formatting a
+// matrix of microsecond-resolution values (or an already-formatted file)
 // is a fixed point.
 func (m *Matrix) Format() string {
 	var b strings.Builder
@@ -139,11 +132,111 @@ func (m *Matrix) Format() string {
 	for i, n := range m.Names {
 		b.WriteString(n)
 		for j := range m.Names {
-			fmt.Fprintf(&b, " %.3f", float64(m.RTT[i][j])/float64(time.Millisecond))
+			b.WriteByte(' ')
+			b.WriteString(formatMS(m.RTT[i][j]))
 		}
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// parseMS converts one millisecond field to a duration. Plain decimals —
+// the only form Format emits — convert exactly through integer
+// arithmetic, so Format/parse is an identity for every representable
+// duration; other accepted spellings (scientific notation) go through
+// float64 and round to the nearest nanosecond.
+func parseMS(f string) (time.Duration, error) {
+	if d, ok := parseMSExact(f); ok {
+		return d, nil
+	}
+	ms, err := strconv.ParseFloat(f, 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(ms) || math.IsInf(ms, 0) {
+		return 0, fmt.Errorf("RTT %q is not finite", f)
+	}
+	if ms < 0 {
+		return 0, errors.New("negative RTT")
+	}
+	ns := ms * float64(time.Millisecond)
+	if ns >= float64(math.MaxInt64) {
+		return 0, fmt.Errorf("RTT %q overflows", f)
+	}
+	// Round instead of truncating: 0.0001 ms is 99.999… in binary
+	// floating point, and truncation would turn it into 99ns.
+	return time.Duration(math.Round(ns)), nil
+}
+
+// parseMSExact converts an unsigned plain-decimal millisecond value to a
+// duration using integer arithmetic. It reports false — sending the
+// caller to the float path — for any other spelling, for fractions finer
+// than a nanosecond, and for values that do not fit a time.Duration.
+func parseMSExact(s string) (time.Duration, bool) {
+	ip, fp := s, ""
+	if dot := strings.IndexByte(s, '.'); dot >= 0 {
+		ip, fp = s[:dot], s[dot+1:]
+	}
+	if ip == "" && fp == "" {
+		return 0, false
+	}
+	digits := func(s string) bool {
+		for i := 0; i < len(s); i++ {
+			if s[i] < '0' || s[i] > '9' {
+				return false
+			}
+		}
+		return true
+	}
+	if !digits(ip) || !digits(fp) {
+		return 0, false
+	}
+	if len(fp) > 6 {
+		for i := 6; i < len(fp); i++ {
+			if fp[i] != '0' {
+				return 0, false
+			}
+		}
+		fp = fp[:6]
+	}
+	for len(fp) < 6 {
+		fp += "0"
+	}
+	// ip.fp milliseconds is the integer ip||fp in nanoseconds.
+	var ns uint64
+	for _, part := range []string{ip, fp} {
+		for i := 0; i < len(part); i++ {
+			d := uint64(part[i] - '0')
+			if ns > (math.MaxUint64-d)/10 {
+				return 0, false
+			}
+			ns = ns*10 + d
+		}
+	}
+	if ns > math.MaxInt64 {
+		return 0, false
+	}
+	return time.Duration(ns), true
+}
+
+// formatMS renders a duration as decimal milliseconds with nanosecond
+// precision, trailing zeros trimmed down to the three decimals of the
+// paper's measurements. The rendering is exact (no float64 involved), so
+// parseMSExact reads back the identical duration at any magnitude.
+func formatMS(d time.Duration) string {
+	sign, ns := "", uint64(d)
+	if d < 0 {
+		// Negative durations never come from the parser or a Grid, but
+		// Format on a hand-built Matrix should still not emit garbage.
+		sign, ns = "-", -uint64(d)
+	}
+	s := fmt.Sprintf("%s%d.%06d", sign, ns/1e6, ns%1e6)
+	// Keep at least three decimals: "x.ddd000" trims to "x.ddd".
+	dot := strings.IndexByte(s, '.')
+	for s[len(s)-1] == '0' && len(s)-dot-1 > 3 {
+		s = s[:len(s)-1]
+	}
+	return s
 }
 
 // FormatMatrix renders the grid's RTT matrix in the format ParseMatrix

@@ -33,6 +33,87 @@ func TestParseMatrix(t *testing.T) {
 	}
 }
 
+// TestParseMatrixSubMillisecond pins the regression where sub-ms values
+// were truncated instead of rounded: 0.0001 ms is 99.999… in binary
+// floating point and used to parse as 99ns.
+func TestParseMatrixSubMillisecond(t *testing.T) {
+	const input = "from a b\na 0.000001 0.0001\nb 0.000489 0\n"
+	m, err := ParseMatrixSpec(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]time.Duration{
+		{1 * time.Nanosecond, 100 * time.Nanosecond},
+		{489 * time.Nanosecond, 0},
+	}
+	for i := range want {
+		for j := range want[i] {
+			if m.RTT[i][j] != want[i][j] {
+				t.Errorf("RTT[%d][%d] = %v, want %v", i, j, m.RTT[i][j], want[i][j])
+			}
+		}
+	}
+	// And the full trip: format, reparse, compare exactly.
+	m2, err := ParseMatrixSpec(strings.NewReader(m.Format()))
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	for i := range want {
+		for j := range want[i] {
+			if m2.RTT[i][j] != m.RTT[i][j] {
+				t.Errorf("round trip changed RTT[%d][%d]: %v -> %v", i, j, m.RTT[i][j], m2.RTT[i][j])
+			}
+		}
+	}
+}
+
+// TestFormatMS: nanosecond-exact rendering, trailing zeros trimmed to no
+// fewer than three decimals so existing three-decimal files stay fixed
+// points.
+func TestFormatMS(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "0.000"},
+		{34 * time.Microsecond, "0.034"},
+		{15039 * time.Microsecond, "15.039"},
+		{time.Nanosecond, "0.000001"},
+		{100 * time.Nanosecond, "0.0001"},
+		{489 * time.Nanosecond, "0.000489"},
+		{time.Millisecond, "1.000"},
+		{1500 * time.Nanosecond, "0.0015"},
+		{time.Duration(1<<63 - 1), "9223372036854.775807"},
+	}
+	for _, c := range cases {
+		if got := formatMS(c.d); got != c.want {
+			t.Errorf("formatMS(%v) = %q, want %q", c.d, got, c.want)
+		}
+		// Every rendered value must reparse exactly.
+		if d, ok := parseMSExact(formatMS(c.d)); !ok || d != c.d {
+			t.Errorf("parseMSExact(formatMS(%v)) = %v, %v", c.d, d, ok)
+		}
+	}
+}
+
+// TestParseMSOverflow: values past time.Duration's range are rejected,
+// not wrapped.
+func TestParseMSOverflow(t *testing.T) {
+	for _, f := range []string{"9223372036854.775808", "1e15", "99999999999999999999"} {
+		if _, err := ParseMatrixSpec(strings.NewReader("from a\na " + f + "\n")); err == nil {
+			t.Errorf("%q: accepted, want overflow error", f)
+		}
+	}
+	// The exact edge of the range must still parse.
+	m, err := ParseMatrixSpec(strings.NewReader("from a\na 9223372036854.775807\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RTT[0][0] != time.Duration(1<<63-1) {
+		t.Errorf("edge value parsed as %v", m.RTT[0][0])
+	}
+}
+
 func TestParseMatrixErrors(t *testing.T) {
 	cases := map[string]string{
 		"empty":          "",

@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"sort"
+	"time"
+
+	"gridmutex/internal/check"
+	"gridmutex/internal/des"
+)
+
+// MergeRecords combines per-runner record slices — each already in grant
+// order, as Records returns them — into one slice ordered by
+// (AcquiredAt, input index). The window-barrier harness runs one
+// workload runner per logical process and merges here, so the combined
+// record stream is a pure function of the inputs, independent of how
+// many workers executed the windows.
+func MergeRecords(parts [][]Record) []Record {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]Record, 0, total)
+	heads := make([][]Record, len(parts))
+	copy(heads, parts)
+	for {
+		best := -1
+		for i, h := range heads {
+			if len(h) == 0 {
+				continue
+			}
+			if best < 0 || h[0].AcquiredAt < heads[best][0].AcquiredAt {
+				best = i
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		out = append(out, heads[best][0])
+		heads[best] = heads[best][1:]
+	}
+}
+
+// replayClock is the check.Clock of an offline replay: it reads whatever
+// instant the replay loop last set.
+type replayClock struct{ now des.Time }
+
+func (c *replayClock) Now() des.Time { return c.now }
+
+// ReplayMonitor re-derives the safety verdict of a fault-free run from
+// its grant records: every record is an Enter at AcquiredAt and an Exit
+// at AcquiredAt+alpha (the workload holds the critical section for
+// exactly alpha, and without faults every section runs to completion).
+// Events replay in (instant, Exit-before-Enter, record order) order —
+// the order the live monitor would have observed them — into a
+// clock-backed check.Monitor, which is returned for the caller to
+// interrogate.
+//
+// The window-barrier harness needs this because a live monitor is
+// shared mutable state: per-LP runners record locally and the merged
+// records are checked here, after the parallel phase is over.
+func ReplayMonitor(records []Record, alpha time.Duration) *check.Monitor {
+	type event struct {
+		at    des.Time
+		enter bool
+		rec   int // index into records, for stable ordering
+	}
+	events := make([]event, 0, 2*len(records))
+	for i, r := range records {
+		events = append(events, event{r.AcquiredAt, true, i})
+		events = append(events, event{r.AcquiredAt + des.Time(alpha), false, i})
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.enter != b.enter {
+			return !a.enter // an exit at t precedes an enter at t
+		}
+		return a.rec < b.rec
+	})
+	clock := &replayClock{}
+	mon := check.NewMonitorWithClock(clock)
+	for _, e := range events {
+		clock.now = e.at
+		if e.enter {
+			mon.Enter(records[e.rec].ID)
+		} else {
+			mon.Exit(records[e.rec].ID)
+		}
+	}
+	return mon
+}

@@ -7,6 +7,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
@@ -104,9 +105,10 @@ func (p Params) Validate() error {
 	return nil
 }
 
-// Beta returns the mean idle time β = ρ·α.
+// Beta returns the mean idle time β = ρ·α, saturating at the maximum
+// representable duration.
 func (p Params) Beta() time.Duration {
-	return time.Duration(p.Rho * float64(p.Alpha))
+	return clampDur(p.Rho * float64(p.Alpha))
 }
 
 // Record captures one satisfied critical section request.
@@ -241,12 +243,25 @@ func (r *Runner) idle(cluster int) time.Duration {
 	}
 	switch r.params.Dist {
 	case Constant:
-		return time.Duration(beta)
+		return clampDur(beta)
 	case Uniform:
-		return time.Duration(2 * beta * r.rng.Float64())
+		return clampDur(2 * beta * r.rng.Float64())
 	default:
-		return time.Duration(beta * r.rng.ExpFloat64())
+		return clampDur(beta * r.rng.ExpFloat64())
 	}
+}
+
+// clampDur converts a non-negative float64 of nanoseconds to a duration,
+// saturating at the maximum. A direct conversion of a value at or above
+// 2^63 is undefined (in practice it wraps negative), which turned huge
+// ρ·α products — or an unlucky exponential draw on top of one — into
+// events scheduled in the past. The scenario loader rejects parameters
+// whose β already overflows; the clamp covers the distribution tail.
+func clampDur(v float64) time.Duration {
+	if v >= float64(math.MaxInt64) {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(v)
 }
 
 // Crash marks the process dead: it abandons any outstanding request, runs

@@ -321,3 +321,82 @@ func TestOutstandingAndWaiting(t *testing.T) {
 			runner.Done(), runner.Outstanding(), runner.Waiting())
 	}
 }
+
+// TestIdleClampsOverflow: a β (or a draw above it) past 2^63 ns must
+// saturate, not wrap into a negative duration scheduled in the past.
+func TestIdleClampsOverflow(t *testing.T) {
+	sim := des.New()
+	for _, dist := range []Distribution{Constant, Uniform, Exponential} {
+		r, err := NewRunner(sim, Params{
+			Alpha: time.Hour, Rho: 1e18, Dist: dist, CSPerProcess: 1, Seed: 9,
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 50; i++ {
+			if d := r.idle(0); d < 0 {
+				t.Fatalf("%v: idle() = %v, wrapped negative", dist, d)
+			}
+		}
+	}
+	if b := (Params{Alpha: time.Hour, Rho: 1e18}).Beta(); b != time.Duration(math.MaxInt64) {
+		t.Errorf("Beta() = %v, want saturation", b)
+	}
+}
+
+// TestMergeRecords: per-runner streams interleave by AcquiredAt, ties
+// keeping input order.
+func TestMergeRecords(t *testing.T) {
+	ms := func(n int) des.Time { return des.Time(n) * time.Millisecond }
+	a := []Record{{ID: 0, AcquiredAt: ms(1)}, {ID: 0, AcquiredAt: ms(5)}, {ID: 1, AcquiredAt: ms(5)}}
+	b := []Record{{ID: 2, AcquiredAt: ms(2)}, {ID: 3, AcquiredAt: ms(5)}}
+	got := MergeRecords([][]Record{a, b, nil})
+	wantIDs := []int{0, 2, 0, 1, 3} // 5ms tie: both of part a before part b
+	if len(got) != len(wantIDs) {
+		t.Fatalf("merged %d records, want %d", len(got), len(wantIDs))
+	}
+	for i, id := range wantIDs {
+		if int(got[i].ID) != id {
+			t.Errorf("merged[%d].ID = %d, want %d", i, got[i].ID, id)
+		}
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].AcquiredAt < got[i-1].AcquiredAt {
+			t.Fatalf("merged records out of order at %d", i)
+		}
+	}
+	if out := MergeRecords(nil); len(out) != 0 {
+		t.Errorf("MergeRecords(nil) = %v", out)
+	}
+}
+
+// TestReplayMonitor: serialized records replay clean; overlapping
+// records are flagged as the safety violation they are.
+func TestReplayMonitor(t *testing.T) {
+	alpha := 10 * time.Millisecond
+	ms := func(n int) des.Time { return des.Time(n) * time.Millisecond }
+	good := []Record{
+		{ID: 0, AcquiredAt: ms(0)},
+		{ID: 1, AcquiredAt: ms(10)}, // back-to-back: enter at the exit instant
+		{ID: 2, AcquiredAt: ms(25)},
+	}
+	mon := ReplayMonitor(good, alpha)
+	if !mon.Ok() {
+		t.Fatalf("clean records flagged: %v", mon.Violations())
+	}
+	if mon.Entries() != 3 || mon.Exits() != 3 {
+		t.Fatalf("entries/exits = %d/%d, want 3/3", mon.Entries(), mon.Exits())
+	}
+	mon.AssertQuiescent()
+	if !mon.Ok() {
+		t.Fatalf("quiescence check failed: %v", mon.Violations())
+	}
+
+	overlap := []Record{
+		{ID: 0, AcquiredAt: ms(0)},
+		{ID: 1, AcquiredAt: ms(5)}, // enters while 0 still holds
+	}
+	if mon := ReplayMonitor(overlap, alpha); mon.Ok() {
+		t.Fatal("overlapping critical sections not flagged")
+	}
+}

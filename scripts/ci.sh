@@ -27,6 +27,14 @@ go test -race ./internal/recovery/ ./internal/faults/
 echo "==> parallel harness equivalence under -race (incl. single-cell + recovery shards)"
 go test -race -run 'TestParallel|TestMap' ./internal/harness/ ./internal/fleet/
 
+echo "==> LP-equivalence under -race: window-barrier scheduler byte-identical for 1 vs N workers"
+# The conservative parallel DES (DESIGN.md §12): one logical process per
+# cluster, lookahead windows from the topology's minimum inter-cluster
+# one-way delay. The harness and scenario identity tests assert traces,
+# records, counters and verdicts match byte for byte across LP worker
+# counts, with the race detector certifying the window fan-out.
+go test -race -run 'TestLP' -count=1 ./internal/harness/ ./internal/scenario/ ./internal/des/ ./internal/simnet/
+
 echo "==> allocation regression: steady-state send/deliver must stay <= 1 alloc/message"
 go test -run 'Allocs' ./internal/des/ ./internal/simnet/
 
@@ -42,6 +50,18 @@ bench_tmp="$(mktemp -t bench5.XXXXXX.json)"
 trap 'rm -f "$bench_tmp"' EXIT
 go run ./cmd/gridbench -experiment fig4a -scale quick -parallel 4 -json "$bench_tmp" -q >/dev/null
 go run ./cmd/benchcmp -baseline BENCH_5.json -fresh "$bench_tmp"
+
+echo "==> benchmark guard: window scheduler fig4a vs committed BENCH_8.json"
+# BENCH_8.json is the committed window-scheduler record (-lps 4). The
+# same figures must reproduce from a fresh -lps 4 run AND from a serial
+# -lps 1 run — the records are byte-identical for every LP worker count,
+# which is the scheduler's whole determinism contract.
+bench8_tmp="$(mktemp -t bench8.XXXXXX.json)"
+trap 'rm -f "$bench_tmp" "$bench8_tmp"' EXIT
+go run ./cmd/gridbench -experiment fig4a -scale quick -lps 4 -json "$bench8_tmp" -q >/dev/null
+go run ./cmd/benchcmp -baseline BENCH_8.json -fresh "$bench8_tmp"
+go run ./cmd/gridbench -experiment fig4a -scale quick -lps 1 -json "$bench8_tmp" -q >/dev/null
+go run ./cmd/benchcmp -baseline BENCH_8.json -fresh "$bench8_tmp"
 
 echo "==> scenario conformance corpus (parallel sweep under -race, JSON verdicts archived)"
 # The declarative acceptance suite (DESIGN.md §11): every fixture under
