@@ -12,6 +12,7 @@
 //	scale  section 4.7 scalability discussion
 //	adaptive  section 6 future work: adaptive inter algorithm
 //	recovery  robustness extension: token regeneration vs heartbeat period
+//	partition robustness extension: minority degradation vs cut duration
 //
 // Usage:
 //

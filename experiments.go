@@ -141,6 +141,19 @@ var figureSpecs = map[string]figureSpec{
 			}
 			return res.Table("Crash recovery"), info, nil
 		}},
+	"partition": {describe: "robustness extension: graceful minority degradation and rejoin under partition windows",
+		run: func(scale harness.Scale, progress func(string)) (string, RunInfo, error) {
+			params, scale := harness.PartitionSweep(scale)
+			res, err := harness.RunPartition(params, scale, progress)
+			if err != nil {
+				return "", RunInfo{}, err
+			}
+			info := RunInfo{
+				Cells: len(res.Points),
+				Runs:  len(res.Points) * scale.Repetitions,
+			}
+			return res.Table("Partition tolerance"), info, nil
+		}},
 	"adaptive": {describe: "section 6 extension: adaptive inter algorithm on a phased workload",
 		run: func(scale harness.Scale, progress func(string)) (string, RunInfo, error) {
 			scale.Phases = harness.AdaptivePhases(scale)
@@ -268,7 +281,7 @@ func ReproduceAllWith(scale ExperimentScale, opt RunOptions, progress func(strin
 	out["fig6a"] = tableAndChart(intra, harness.ObtainingMean, "Figure 6(a)")
 	out["fig6b"] = tableAndChart(intra, harness.ObtainingStd, "Figure 6(b)")
 
-	for _, name := range []string{"scale", "adaptive", "bias", "locality", "recovery"} {
+	for _, name := range []string{"scale", "adaptive", "bias", "locality", "recovery", "partition"} {
 		tab, figInfo, err := figureSpecs[name].run(s, progress)
 		if err != nil {
 			return nil, info, fmt.Errorf("gridmutex: %s experiment: %w", name, err)

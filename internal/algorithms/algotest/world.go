@@ -23,6 +23,8 @@ type World struct {
 	locals    []func()
 	log       []Sent // every send ever made, for assertions
 	down      map[mutex.ID]bool
+	isolated  mutex.ID // single-node partition cut, valid while cut is true
+	cut       bool
 }
 
 // World is a mutex.Fabric, so deployment builders (core.BuildComposed and
@@ -179,9 +181,60 @@ func (w *World) Crash(id mutex.ID) {
 // Down reports whether a process has crashed.
 func (w *World) Down(id mutex.ID) bool { return w.down[id] }
 
+// Restart clears a process's crashed state: deliveries reach it again and
+// its sends go out again. In-flight messages still addressed to it are
+// purged — they were sent to the previous incarnation, and the recovery
+// layer's epoch fence discards exactly those on rejoin (a pre-crash token
+// grant must not land on an amnesiac instance). Like simnet, the world
+// only restores connectivity — the amnesiac protocol state is the
+// caller's business (see Replace).
+func (w *World) Restart(id mutex.ID) {
+	delete(w.down, id)
+	kept := w.inflight[:0]
+	for _, s := range w.inflight {
+		if s.To != id {
+			kept = append(kept, s)
+		}
+	}
+	w.inflight = kept
+}
+
+// Replace swaps the handler registered under id — the restart hook: a
+// revived process comes back with a freshly built (amnesiac) instance,
+// not the state it crashed with.
+func (w *World) Replace(id mutex.ID, h mutex.Handler) {
+	if _, ok := w.instances[id]; !ok {
+		panic(fmt.Sprintf("algotest: Replace of unregistered instance %d", id))
+	}
+	w.instances[id] = h
+}
+
+// PurgeInflight discards every in-flight message undelivered — the epoch
+// fence: a resync epoch invalidates all traffic of the previous epoch.
+func (w *World) PurgeInflight() { w.inflight = nil }
+
+// Isolate cuts a single node off from everyone else: messages crossing
+// the cut in either direction are discarded at delivery time (the
+// in-flight queue is untouched — a message already on the wire dies only
+// when it would arrive during the cut, exactly like simnet's
+// delivery-time classification). One cut at a time.
+func (w *World) Isolate(id mutex.ID) {
+	w.isolated = id
+	w.cut = true
+}
+
+// Heal removes the active cut; messages still in flight deliver normally.
+func (w *World) Heal() { w.cut = false }
+
+// Isolated returns the currently cut-off node, if any.
+func (w *World) Isolated() (mutex.ID, bool) { return w.isolated, w.cut }
+
 func (w *World) deliver(s Sent) {
 	if w.down[s.To] {
 		return // messages to a crashed process vanish
+	}
+	if w.cut && (s.From == w.isolated) != (s.To == w.isolated) {
+		return // the link crosses the partition cut: delivery-time drop
 	}
 	inst, ok := w.instances[s.To]
 	if !ok {

@@ -43,6 +43,12 @@ type Monitor struct {
 	crashAt    des.Time
 	crashOpen  bool
 	latencies  []time.Duration
+
+	// Restart-rejoin accounting (see Restarted and Rejoined).
+	restarts   int64
+	rejoins    int64
+	restartAt  map[mutex.ID]des.Time
+	rejoinLats []time.Duration
 }
 
 // NewMonitor returns a monitor bound to the simulator's clock.
@@ -145,6 +151,45 @@ func (m *Monitor) BeginEpoch(group string) {
 		m.latencies = append(m.latencies, time.Duration(m.clock.Now()-m.crashAt))
 		m.crashOpen = false
 	}
+}
+
+// Restarted records that id's node came back up now. The restarted
+// process is amnesiac and not yet a member of its groups, so nothing in
+// the entry/exit accounting changes; Restarted opens a rejoin-latency
+// sample that Rejoined closes. Post-rejoin critical-section entries are
+// ordinary acquires — the crashed holder was already vacated by Crashed,
+// so re-entry needs no special casing.
+func (m *Monitor) Restarted(id mutex.ID) {
+	m.restarts++
+	if m.restartAt == nil {
+		m.restartAt = make(map[mutex.ID]des.Time)
+	}
+	m.restartAt[id] = m.clock.Now()
+}
+
+// Rejoined records that a restarted id was re-admitted to its group —
+// closing the rejoin-latency sample opened by Restarted. Extra rejoin
+// notifications (the same process rejoins several groups) are counted
+// but sample only the first, which is the one that makes the process
+// serviceable again.
+func (m *Monitor) Rejoined(id mutex.ID) {
+	m.rejoins++
+	if at, ok := m.restartAt[id]; ok {
+		m.rejoinLats = append(m.rejoinLats, time.Duration(m.clock.Now()-at))
+		delete(m.restartAt, id)
+	}
+}
+
+// Restarts returns how many node restarts were recorded.
+func (m *Monitor) Restarts() int64 { return m.restarts }
+
+// Rejoins returns how many group re-admissions were recorded.
+func (m *Monitor) Rejoins() int64 { return m.rejoins }
+
+// RejoinLatencies returns one restart-to-readmission delay per restarted
+// process that rejoined, in rejoin order.
+func (m *Monitor) RejoinLatencies() []time.Duration {
+	return append([]time.Duration(nil), m.rejoinLats...)
 }
 
 // Crashes returns how many crashes were recorded.

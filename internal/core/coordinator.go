@@ -84,6 +84,11 @@ type Coordinator struct {
 	// coordinator may insert before honouring a pending inter request.
 	localBias int
 	biasLeft  int
+
+	// forfeited records that the inter claim was surrendered by Isolate
+	// while the coordinator was IN (or reclaiming): when the reclaim of
+	// the intra token completes there is no handoff to perform.
+	forfeited bool
 }
 
 // NewCoordinator creates an unwired coordinator. Construct the intra and
@@ -199,6 +204,16 @@ func (c *Coordinator) onIntraAcquire() {
 	case Booting:
 		c.transition(Out)
 	case WaitForOut:
+		if c.forfeited {
+			// The inter claim was surrendered by Isolate: there is no
+			// handoff to perform — park OUT holding the intra token.
+			// Pending local requests fall through to maybeRequestInter,
+			// queueing the cluster for the majority's regenerated inter
+			// token; the grant arrives once the partition heals.
+			c.forfeited = false
+			c.transition(Out)
+			break
+		}
 		if c.biasLeft > 0 && c.intra.HasPending() {
 			// Local bias: applications queued behind the reclaim get
 			// one more serving round before the handoff. The
@@ -267,4 +282,37 @@ func (c *Coordinator) maybeReclaimIntra() {
 		c.biasLeft = c.localBias
 		c.intra.Request()
 	}
+}
+
+// Isolate parks the coordinator when its cluster lands on the minority
+// side of a partition. The inter claim — if any — has been forfeited at
+// the recovery layer (the majority side will regenerate the token), so
+// the automaton must stop treating it as owned: an IN coordinator
+// reclaims the intra token at once, stopping local grants, and the
+// completed reclaim parks OUT without an inter release. Local requests
+// queue behind the reclaim; Reconnect re-issues the inter acquisition,
+// so the frozen queue drains once the partition heals.
+func (c *Coordinator) Isolate() {
+	switch c.state {
+	case In:
+		c.forfeited = true
+		c.transition(WaitForOut)
+		c.biasLeft = 0
+		c.intra.Request()
+	case WaitForOut:
+		// The reclaim is already running; cancel any bias rounds and
+		// skip the handoff when it completes.
+		c.forfeited = true
+		c.biasLeft = 0
+	}
+	// Out, WaitForIn, Booting: no claim to surrender. A WAIT_FOR_IN
+	// request stays recorded at the minority-frozen inter member and is
+	// re-issued by the resync epoch.
+}
+
+// Reconnect resumes the coordinator after its cluster rejoined the
+// majority: if local requests queued up during the freeze, start the
+// inter acquisition for them.
+func (c *Coordinator) Reconnect() {
+	c.maybeRequestInter()
 }

@@ -60,18 +60,8 @@ func ExploreDFS(b Builder, opts Options) (*Result, error) {
 			return nil, err
 		}
 		res.Schedules++
-		dups, drops, crashes := o.MaxDuplicates, o.MaxDrops, o.MaxCrashes
-		useBudget := func(c Choice) {
-			switch c.Op {
-			case OpDuplicate:
-				dups--
-			case OpDrop:
-				drops--
-			case OpCrash:
-				crashes--
-			}
-		}
-		fpKey := func() string { return fmt.Sprintf("%d/%d/%d/", dups, drops, crashes) + sys.fingerprint() }
+		bud := o.budget()
+		fpKey := func() string { return bud.String() + sys.fingerprint() }
 
 		var sched Schedule
 		violated, pruned := false, false
@@ -82,7 +72,7 @@ func ExploreDFS(b Builder, opts Options) (*Result, error) {
 		// uniform.
 		for i := range stack {
 			c := stack[i].choices[stack[i].cur]
-			useBudget(c)
+			bud.use(c)
 			if err := sys.apply(c); err != nil {
 				return nil, fmt.Errorf("explore: nondeterministic build: replay diverged: %w", err)
 			}
@@ -113,7 +103,7 @@ func ExploreDFS(b Builder, opts Options) (*Result, error) {
 				res.Truncated++
 				break
 			}
-			en := sys.enabled(o, dups, drops, crashes)
+			en := sys.enabled(o, bud)
 			if len(en) == 0 {
 				sys.checkTerminal(o)
 				violated = !sys.mon.Ok()
@@ -121,7 +111,7 @@ func ExploreDFS(b Builder, opts Options) (*Result, error) {
 			}
 			stack = append(stack, frame{choices: en})
 			c := en[0]
-			useBudget(c)
+			bud.use(c)
 			if err := sys.apply(c); err != nil {
 				return nil, fmt.Errorf("explore: enabled choice failed to apply: %w", err)
 			}

@@ -56,6 +56,27 @@ type Options struct {
 	// stalls the survivors of a bare algorithm (recovering is
 	// internal/recovery's job, out of scope for the raw protocol model).
 	MaxCrashes int
+	// MaxRestarts budgets restarts of crashed endpoints per schedule
+	// (default 0). A restart models internal/recovery's rejoin resync
+	// epoch: every live member's instance is rebuilt from scratch (the
+	// builder's rebuild hooks; see SetRebuild) with a designated holder
+	// that is never the restarted node — its pre-crash token claim must
+	// not resurrect — all in-flight messages are purged (the epoch fence
+	// discards traffic from the previous epoch), members with an
+	// outstanding request get it re-issued as a future request step, and
+	// the restarted endpoint recovers the requests its crash forfeited.
+	// Restarts are only enabled on crashed endpoints while no live member
+	// is inside the critical section (cross-epoch CS adoption is the
+	// recovery layer's business, out of scope for the raw protocol
+	// model), so a positive budget is useless without MaxCrashes.
+	MaxRestarts int
+	// MaxPartitions budgets single-node partition cuts per schedule
+	// (default 0). A cut isolates one endpoint: messages crossing it in
+	// either direction are discarded when delivered (delivery-time
+	// classification, like simnet), until a heal step removes the cut.
+	// Like crashes, partitions make the exploration safety-only — the
+	// token may die on the wire across the cut.
+	MaxPartitions int
 	// ReorderWithinLink also explores non-FIFO delivery inside one
 	// (sender, receiver) link. The mutex.Env contract promises per-link
 	// FIFO, so this is off by default; it exists to stress transports
@@ -98,13 +119,53 @@ func (o Options) fill() Options {
 	return o
 }
 
+// faulty reports whether the options admit token-destroying faults, which
+// makes the exploration safety-only (see MaxCrashes and MaxPartitions).
+func (o Options) faulty() bool { return o.MaxCrashes > 0 || o.MaxPartitions > 0 }
+
+// budget tracks the per-schedule fault allowances as they are consumed.
+type budget struct {
+	dups, drops, crashes, restarts, parts int
+}
+
+func (o Options) budget() budget {
+	return budget{
+		dups: o.MaxDuplicates, drops: o.MaxDrops,
+		crashes: o.MaxCrashes, restarts: o.MaxRestarts, parts: o.MaxPartitions,
+	}
+}
+
+// use consumes the budget a choice spends. OpHeal is free: every heal is
+// preceded by a budgeted cut, so alternation stays bounded.
+func (b *budget) use(c Choice) {
+	switch c.Op {
+	case OpDuplicate:
+		b.dups--
+	case OpDrop:
+		b.drops--
+	case OpCrash:
+		b.crashes--
+	case OpRestart:
+		b.restarts--
+	case OpPartition:
+		b.parts--
+	}
+}
+
+// String renders the remaining budget canonically for fingerprint keys.
+func (b budget) String() string {
+	return fmt.Sprintf("%d/%d/%d/%d/%d/", b.dups, b.drops, b.crashes, b.restarts, b.parts)
+}
+
 // app is one drivable application endpoint.
 type app struct {
 	id        mutex.ID
 	inst      mutex.Instance
 	remaining int // requests not yet issued
+	lost      int // requests forfeited by a crash, restored on restart
 	granted   int
 	crashed   bool
+	rebuild   func(holder mutex.ID) (mutex.Instance, error) // resync-epoch rebuild hook
 }
 
 // System is one freshly built instance of the model under exploration: a
@@ -173,6 +234,20 @@ func (s *System) AddHandler(id mutex.ID, h mutex.Handler) {
 	s.World.Add(id, h)
 }
 
+// SetRebuild registers the resync-epoch rebuild hook for a drivable
+// endpoint: a deterministic constructor of a fresh instance seeded with
+// the designated epoch holder. OpRestart rebuilds EVERY live member
+// through these hooks (the rejoin resync epoch reconstructs the group's
+// inner state consistently everywhere), so restarts are only enabled
+// when the restarting endpoint and all live endpoints have hooks.
+func (s *System) SetRebuild(id mutex.ID, f func(holder mutex.ID) (mutex.Instance, error)) {
+	a := s.byID[id]
+	if a == nil {
+		panic(fmt.Sprintf("explore: SetRebuild for unknown app %d", id))
+	}
+	a.rebuild = f
+}
+
 // AddProbe registers an extra fingerprint contributor. The default
 // fingerprint only sees drivable apps and in-flight messages; builders for
 // composed systems should register probes exposing the coordinator and
@@ -189,6 +264,9 @@ type Builder func() (*System, error)
 
 // FlatBuilder returns a Builder for a flat n-participant instance of
 // factory with member IDs 0..n-1 and participant 0 the initial holder.
+// Every endpoint gets a rebuild hook, so restart steps (the resync-epoch
+// model; see Options.MaxRestarts) are available under a MaxRestarts
+// budget.
 func FlatBuilder(factory mutex.Factory, n int) Builder {
 	return func() (*System, error) {
 		sys := NewSystem()
@@ -197,6 +275,7 @@ func FlatBuilder(factory mutex.Factory, n int) Builder {
 			members[i] = mutex.ID(i)
 		}
 		for _, id := range members {
+			id := id
 			inst, err := factory(mutex.Config{
 				Self: id, Members: members, Holder: 0,
 				Env: sys.World.Env(id), Callbacks: sys.Callbacks(id),
@@ -206,9 +285,38 @@ func FlatBuilder(factory mutex.Factory, n int) Builder {
 			}
 			sys.World.Add(id, inst)
 			sys.AddApp(id, inst)
+			sys.SetRebuild(id, func(holder mutex.ID) (mutex.Instance, error) {
+				return factory(mutex.Config{
+					Self: id, Members: members, Holder: holder,
+					Env: sys.World.Env(id), Callbacks: sys.Callbacks(id),
+				})
+			})
 		}
 		return sys, nil
 	}
+}
+
+// anyInCS reports whether some live app is inside the critical section —
+// restart steps are gated off such states (see Options.MaxRestarts).
+func (s *System) anyInCS() bool {
+	for _, a := range s.apps {
+		if !a.crashed && a.inst.State() == mutex.InCS {
+			return true
+		}
+	}
+	return false
+}
+
+// allRebuildable reports whether every live app has a rebuild hook — the
+// resync epoch rebuilds all of them, so one missing hook disables
+// restarts entirely.
+func (s *System) allRebuildable() bool {
+	for _, a := range s.apps {
+		if !a.crashed && a.rebuild == nil {
+			return false
+		}
+	}
+	return true
 }
 
 // waiting counts apps with an ungranted request.
@@ -239,6 +347,14 @@ const (
 	OpRelease Op = "release"
 	// OpCrash fail-stops app Node (see Options.MaxCrashes).
 	OpCrash Op = "crash"
+	// OpRestart revives crashed app Node with a fresh amnesiac instance
+	// (see Options.MaxRestarts).
+	OpRestart Op = "restart"
+	// OpPartition isolates app Node behind a cut (see
+	// Options.MaxPartitions).
+	OpPartition Op = "partition"
+	// OpHeal removes the active cut.
+	OpHeal Op = "heal"
 )
 
 // Choice is one schedule step. Delivery choices address messages by link
@@ -255,7 +371,9 @@ type Choice struct {
 // String renders the choice for humans.
 func (c Choice) String() string {
 	switch c.Op {
-	case OpRequest, OpRelease, OpCrash:
+	case OpHeal:
+		return string(c.Op)
+	case OpRequest, OpRelease, OpCrash, OpRestart, OpPartition:
 		return fmt.Sprintf("%s(%d)", c.Op, c.Node)
 	case OpDeliver:
 		if c.Idx != 0 {
@@ -300,8 +418,8 @@ func (s *System) links() ([]link, map[link]int) {
 
 // enabled enumerates the choices available in the current state, in a
 // fixed deterministic order: deliveries, duplications, drops, crashes,
-// releases, requests.
-func (s *System) enabled(o Options, dupsLeft, dropsLeft, crashesLeft int) []Choice {
+// restarts, partition cuts, heal, releases, requests.
+func (s *System) enabled(o Options, bud budget) []Choice {
 	var out []Choice
 	order, counts := s.links()
 	for _, l := range order {
@@ -312,22 +430,40 @@ func (s *System) enabled(o Options, dupsLeft, dropsLeft, crashesLeft int) []Choi
 			}
 		}
 	}
-	if dupsLeft > 0 {
+	if bud.dups > 0 {
 		for _, l := range order {
 			out = append(out, Choice{Op: OpDuplicate, From: l.from, To: l.to})
 		}
 	}
-	if dropsLeft > 0 {
+	if bud.drops > 0 {
 		for _, l := range order {
 			out = append(out, Choice{Op: OpDrop, From: l.from, To: l.to})
 		}
 	}
-	if crashesLeft > 0 {
+	if bud.crashes > 0 {
 		for _, a := range s.apps {
 			if !a.crashed {
 				out = append(out, Choice{Op: OpCrash, Node: a.id})
 			}
 		}
+	}
+	if bud.restarts > 0 && !s.anyInCS() && s.allRebuildable() {
+		for _, a := range s.apps {
+			if a.crashed && a.rebuild != nil {
+				out = append(out, Choice{Op: OpRestart, Node: a.id})
+			}
+		}
+	}
+	_, cut := s.World.Isolated()
+	if bud.parts > 0 && !cut {
+		for _, a := range s.apps {
+			if !a.crashed {
+				out = append(out, Choice{Op: OpPartition, Node: a.id})
+			}
+		}
+	}
+	if cut {
+		out = append(out, Choice{Op: OpHeal})
 	}
 	for _, a := range s.apps {
 		if !a.crashed && a.inst.State() == mutex.InCS {
@@ -408,9 +544,69 @@ func (s *System) apply(c Choice) (err error) {
 			return fmt.Errorf("explore: step %d: crash(%d) not enabled", s.steps, c.Node)
 		}
 		a.crashed = true
+		a.lost = a.remaining
 		a.remaining = 0
 		s.mon.Crashed(c.Node) // vacates the CS if the victim holds it
 		s.World.Crash(c.Node)
+	case OpRestart:
+		a := s.byID[c.Node]
+		if a == nil || !a.crashed || a.rebuild == nil {
+			return fmt.Errorf("explore: step %d: restart(%d) not enabled", s.steps, c.Node)
+		}
+		if s.anyInCS() {
+			return fmt.Errorf("explore: step %d: restart(%d) while a member is in the critical section", s.steps, c.Node)
+		}
+		// The resync epoch: the restarted node comes back amnesiac, the
+		// epoch fence discards every message of the previous epoch, and
+		// every live member rebuilds its instance around a designated
+		// holder — the lowest live member other than the restarter, so its
+		// dead claim never resurrects. Members that were requesting get
+		// the request re-issued (recovery re-requests on behalf of a
+		// requesting owner) as a future request step.
+		a.crashed = false
+		a.remaining = a.lost
+		a.lost = 0
+		holder := c.Node
+		for _, b := range s.apps {
+			if b.id != c.Node && !b.crashed && (holder == c.Node || b.id < holder) {
+				holder = b.id
+			}
+		}
+		s.World.Restart(c.Node)
+		s.World.PurgeInflight()
+		for _, b := range s.apps {
+			if b.crashed {
+				continue
+			}
+			if b.rebuild == nil {
+				return fmt.Errorf("explore: step %d: restart(%d): live app %d has no rebuild hook", s.steps, c.Node, b.id)
+			}
+			if b.id != c.Node && b.inst.State() == mutex.Req {
+				b.remaining++
+			}
+			inst, err := b.rebuild(holder)
+			if err != nil {
+				return fmt.Errorf("explore: step %d: rebuilding app %d: %w", s.steps, b.id, err)
+			}
+			b.inst = inst
+			s.World.Replace(b.id, inst)
+		}
+		s.mon.Restarted(c.Node)
+		s.World.Settle()
+	case OpPartition:
+		if _, cut := s.World.Isolated(); cut {
+			return fmt.Errorf("explore: step %d: partition(%d) with a cut already active", s.steps, c.Node)
+		}
+		a := s.byID[c.Node]
+		if a == nil || a.crashed {
+			return fmt.Errorf("explore: step %d: partition(%d) not enabled", s.steps, c.Node)
+		}
+		s.World.Isolate(c.Node)
+	case OpHeal:
+		if _, cut := s.World.Isolated(); !cut {
+			return fmt.Errorf("explore: step %d: heal with no active cut", s.steps)
+		}
+		s.World.Heal()
 	default:
 		return fmt.Errorf("explore: step %d: unknown op %q", s.steps, c.Op)
 	}
@@ -438,6 +634,9 @@ func (s *System) fingerprint() string {
 		b.WriteString(p())
 		b.WriteByte(';')
 	}
+	if iso, cut := s.World.Isolated(); cut {
+		fmt.Fprintf(&b, "cut:%d;", iso)
+	}
 	b.WriteByte('|')
 	order, _ := s.links()
 	sort.Slice(order, func(i, j int) bool {
@@ -462,12 +661,13 @@ func (s *System) fingerprint() string {
 // checkTerminal runs the quiescence assertions once no choice is enabled:
 // nothing may remain requested or in the critical section, every budgeted
 // request must have been issued and granted, entries must match exits, and
-// optionally exactly WantTokenHolders apps hold a token. With a crash
-// budget the exploration is safety-only: completion checks would flag the
-// legitimate stall of survivors waiting on a token that died with its
-// holder, so only the monitor's own quiescence accounting runs.
+// optionally exactly WantTokenHolders apps hold a token. With a crash or
+// partition budget the exploration is safety-only: completion checks would
+// flag the legitimate stall of survivors waiting on a token that died with
+// its holder (or on the wire across a cut), so only the monitor's own
+// quiescence accounting runs.
 func (s *System) checkTerminal(o Options) {
-	if o.MaxCrashes > 0 {
+	if o.faulty() {
 		s.mon.AssertQuiescent()
 		return
 	}
@@ -505,9 +705,9 @@ func (s *System) start(o Options) error {
 	for _, a := range s.apps {
 		a.remaining = o.RequestsPerApp
 	}
-	if o.MaxCrashes <= 0 {
-		// Safety-only under crashes: a stalled survivor is expected, not
-		// a liveness bug (see Options.MaxCrashes).
+	if !o.faulty() {
+		// Safety-only under crashes and partitions: a stalled survivor is
+		// expected, not a liveness bug (see Options.MaxCrashes).
 		s.live = check.NewStepLiveness(s.mon, o.LivenessBound)
 	}
 	s.World.Settle()

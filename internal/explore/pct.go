@@ -31,7 +31,7 @@ func ExploreRandom(b Builder, opts Options) (*Result, error) {
 			return nil, err
 		}
 		res.Schedules++
-		dups, drops, crashes := o.MaxDuplicates, o.MaxDrops, o.MaxCrashes
+		bud := o.budget()
 
 		// Priority change points: distinct schedule depths, drawn once
 		// per schedule.
@@ -54,11 +54,13 @@ func ExploreRandom(b Builder, opts Options) (*Result, error) {
 			switch c.Op {
 			case OpRequest, OpRelease:
 				return fmt.Sprintf("n%d", c.Node)
-			case OpCrash:
-				// Crashes are their own actor per node: sharing the
-				// node's priority would schedule the crash instead of
+			case OpCrash, OpRestart, OpPartition:
+				// Fault steps are their own actor per node: sharing the
+				// node's priority would schedule the fault instead of
 				// every request it precedes in the enabled order.
-				return fmt.Sprintf("c%d", c.Node)
+				return fmt.Sprintf("%s%d", c.Op, c.Node)
+			case OpHeal:
+				return "heal"
 			case OpDeliver:
 				return fmt.Sprintf("l%d>%d", c.From, c.To)
 			default:
@@ -69,7 +71,7 @@ func ExploreRandom(b Builder, opts Options) (*Result, error) {
 		var sched Schedule
 		violated := false
 		for len(sched) < o.MaxSteps {
-			en := sys.enabled(o, dups, drops, crashes)
+			en := sys.enabled(o, bud)
 			if len(en) == 0 {
 				sys.checkTerminal(o)
 				violated = !sys.mon.Ok()
@@ -88,14 +90,7 @@ func ExploreRandom(b Builder, opts Options) (*Result, error) {
 				}
 			}
 			c := en[best]
-			switch c.Op {
-			case OpDuplicate:
-				dups--
-			case OpDrop:
-				drops--
-			case OpCrash:
-				crashes--
-			}
+			bud.use(c)
 			if err := sys.apply(c); err != nil {
 				return nil, fmt.Errorf("explore: enabled choice failed to apply: %w", err)
 			}

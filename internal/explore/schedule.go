@@ -46,16 +46,9 @@ func Replay(b Builder, sched Schedule, opts Options) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	dups, drops, crashes := o.MaxDuplicates, o.MaxDrops, o.MaxCrashes
+	bud := o.budget()
 	for _, c := range sched {
-		switch c.Op {
-		case OpDuplicate:
-			dups--
-		case OpDrop:
-			drops--
-		case OpCrash:
-			crashes--
-		}
+		bud.use(c)
 		if err := sys.apply(c); err != nil {
 			if !sys.mon.Ok() {
 				// The inapplicability itself surfaced as a violation
@@ -68,7 +61,7 @@ func Replay(b Builder, sched Schedule, opts Options) ([]string, error) {
 			return sys.mon.Violations(), nil
 		}
 	}
-	if len(sys.enabled(o, dups, drops, crashes)) == 0 {
+	if len(sys.enabled(o, bud)) == 0 {
 		sys.checkTerminal(o)
 	}
 	return sys.mon.Violations(), nil

@@ -38,6 +38,11 @@ const (
 	// Restart revives a node's connectivity; protocol state is whatever
 	// the recovery layer rebuilds.
 	Restart
+	// PartitionStart cuts the network into two sides: Event.Nodes versus
+	// the rest. Links crossing the cut discard at delivery time.
+	PartitionStart
+	// PartitionEnd heals the active cut.
+	PartitionEnd
 )
 
 // String names the kind.
@@ -47,6 +52,10 @@ func (k Kind) String() string {
 		return "crash"
 	case Restart:
 		return "restart"
+	case PartitionStart:
+		return "partition"
+	case PartitionEnd:
+		return "heal"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -56,10 +65,13 @@ func (k Kind) String() string {
 type Event struct {
 	// At is the virtual instant the fault fires.
 	At des.Time
-	// Node is the physical topology node affected.
+	// Node is the physical topology node affected (crash/restart kinds;
+	// -1 for partition kinds).
 	Node int
-	// Kind is Crash or Restart.
+	// Kind is Crash, Restart, PartitionStart or PartitionEnd.
 	Kind Kind
+	// Nodes is the cut-off side of a PartitionStart; nil otherwise.
+	Nodes []int
 }
 
 // Schedule is a time-ordered fault plan.
@@ -70,7 +82,14 @@ type Schedule []Event
 func (s Schedule) String() string {
 	var b strings.Builder
 	for _, e := range s {
-		fmt.Fprintf(&b, "%v node=%d at=%v\n", e.Kind, e.Node, e.At)
+		switch e.Kind {
+		case PartitionStart:
+			fmt.Fprintf(&b, "%v nodes=%v at=%v\n", e.Kind, e.Nodes, e.At)
+		case PartitionEnd:
+			fmt.Fprintf(&b, "%v at=%v\n", e.Kind, e.At)
+		default:
+			fmt.Fprintf(&b, "%v node=%d at=%v\n", e.Kind, e.Node, e.At)
+		}
 	}
 	return b.String()
 }
@@ -92,10 +111,13 @@ func (s Schedule) sort() {
 // Actions are the callbacks a schedule drives when injected. Crash is
 // typically a closure over simnet.Network.Crash plus the bookkeeping the
 // run needs (marking the workload process dead, telling the check monitor);
-// Restart mirrors it.
+// Restart mirrors it. Partition and Heal are needed only when the schedule
+// carries partition events.
 type Actions struct {
-	Crash   func(node int)
-	Restart func(node int)
+	Crash     func(node int)
+	Restart   func(node int)
+	Partition func(nodes []int)
+	Heal      func()
 }
 
 // Apply injects the schedule: every event becomes one virtual-time event
@@ -112,6 +134,16 @@ func (s Schedule) Apply(sim *des.Simulator, a Actions) {
 			sim.At(e.At, func() { a.Crash(e.Node) })
 		case Restart:
 			sim.At(e.At, func() { a.Restart(e.Node) })
+		case PartitionStart:
+			if a.Partition == nil {
+				panic("faults: schedule has partition events but Actions.Partition is nil")
+			}
+			sim.At(e.At, func() { a.Partition(e.Nodes) })
+		case PartitionEnd:
+			if a.Heal == nil {
+				panic("faults: schedule has partition events but Actions.Heal is nil")
+			}
+			sim.At(e.At, func() { a.Heal() })
 		default:
 			panic(fmt.Sprintf("faults: unknown event kind %v", e.Kind))
 		}
@@ -186,6 +218,99 @@ type CSEntryTrigger struct {
 // String renders the trigger canonically.
 func (t CSEntryTrigger) String() string {
 	return fmt.Sprintf("crash node=%d on cs-entry #%d\n", t.Victim, t.Entry)
+}
+
+// PartitionConfig parameterizes the PartitionWindows generator.
+type PartitionConfig struct {
+	// Seed makes the schedule deterministic.
+	Seed int64
+	// Sides is the candidate cut-off node sets — typically one entry per
+	// cluster, holding that cluster's node indices. Each window isolates
+	// one seeded candidate.
+	Sides [][]int
+	// Windows is how many partition windows to draw. Windows never
+	// overlap: the horizon is divided into equal slots, one window per
+	// slot, so at most one cut is active at any instant (matching
+	// simnet's single-cut model).
+	Windows int
+	// Horizon bounds the window instants.
+	Horizon time.Duration
+	// MinHeal and MaxHeal bound the cut duration, uniform in
+	// [MinHeal, MaxHeal]. MaxHeal == 0 means the last window never heals.
+	MinHeal, MaxHeal time.Duration
+}
+
+// PartitionWindows draws a partition schedule: each window isolates one
+// seeded candidate side at a uniform instant within its slot and heals
+// after a uniform duration (clamped to the slot, so cuts never overlap).
+// The result is sorted and byte-identical per (config, seed).
+func PartitionWindows(cfg PartitionConfig) Schedule {
+	if cfg.Horizon <= 0 {
+		panic("faults: non-positive horizon")
+	}
+	if cfg.MaxHeal < cfg.MinHeal {
+		panic("faults: MaxHeal before MinHeal")
+	}
+	if len(cfg.Sides) == 0 || cfg.Windows <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	slot := int64(cfg.Horizon) / int64(cfg.Windows)
+	if slot <= 1 {
+		panic("faults: horizon too short for the requested windows")
+	}
+	var s Schedule
+	for w := 0; w < cfg.Windows; w++ {
+		side := cfg.Sides[rng.Intn(len(cfg.Sides))]
+		lo := des.Time(int64(w) * slot)
+		at := lo + des.Time(1+rng.Int63n(slot-1))
+		cut := append([]int(nil), side...)
+		sort.Ints(cut)
+		s = append(s, Event{At: at, Node: -1, Kind: PartitionStart, Nodes: cut})
+		if cfg.MaxHeal > 0 {
+			dur := cfg.MinHeal
+			if spread := int64(cfg.MaxHeal - cfg.MinHeal); spread > 0 {
+				dur += time.Duration(rng.Int63n(spread + 1))
+			}
+			heal := at + dur
+			if limit := lo + des.Time(slot); heal >= limit {
+				heal = limit - 1 // stay inside the slot: cuts never overlap
+			}
+			if heal <= at {
+				heal = at + 1
+			}
+			s = append(s, Event{At: heal, Node: -1, Kind: PartitionEnd})
+		}
+	}
+	s.sort()
+	return s
+}
+
+// PartitionPulse draws a single fixed-length partition window: one seeded
+// side from sides is cut off at a uniform instant in (0, startHorizon]
+// and healed exactly duration later — the shape swept by the harness's
+// partition experiment, where the cut length is the controlled variable
+// and must not be clamped the way PartitionWindows clamps to its slots.
+// The result is byte-identical per (arguments, seed).
+func PartitionPulse(seed int64, sides [][]int, startHorizon, duration time.Duration) Schedule {
+	if startHorizon <= 0 {
+		panic("faults: non-positive start horizon")
+	}
+	if duration <= 0 {
+		panic("faults: non-positive pulse duration")
+	}
+	if len(sides) == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	side := sides[rng.Intn(len(sides))]
+	at := des.Time(1 + rng.Int63n(int64(startHorizon)))
+	cut := append([]int(nil), side...)
+	sort.Ints(cut)
+	return Schedule{
+		{At: at, Node: -1, Kind: PartitionStart, Nodes: cut},
+		{At: at + des.Time(duration), Node: -1, Kind: PartitionEnd},
+	}
 }
 
 // OnCSEntry draws a crash-on-CS-entry trigger: a uniform victim from the

@@ -1,0 +1,370 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"gridmutex/internal/check"
+	"gridmutex/internal/core"
+	"gridmutex/internal/des"
+	"gridmutex/internal/faults"
+	"gridmutex/internal/fleet"
+	"gridmutex/internal/mutex"
+	"gridmutex/internal/recovery"
+	"gridmutex/internal/simnet"
+	"gridmutex/internal/stats"
+	"gridmutex/internal/workload"
+)
+
+// PartitionParams tunes the network-partition experiment on top of a
+// Scale.
+type PartitionParams struct {
+	// Durations is the swept cut-window length axis: each repetition
+	// isolates one seeded cluster for this long, then heals.
+	Durations []time.Duration
+	// Spec is the composition under test; zero value means naimi-naimi.
+	Spec core.Spec
+	// Period is the failure-detector heartbeat period; 0 means twice the
+	// workload's alpha.
+	Period time.Duration
+}
+
+// PartitionPoint is the aggregate of one (duration, ρ) cell: what a
+// partition window of that length costs the grid — obtaining-time
+// inflation, messages killed on the cut, minority freezes entered, and
+// the token regenerations the majority performed while the cut-off side
+// stayed frozen.
+type PartitionPoint struct {
+	Duration time.Duration
+	Rho      float64
+	// Obtaining aggregates the obtaining time (ms) of all grants,
+	// including the post-heal drain of requests frozen during the cut.
+	Obtaining stats.Summary
+	// DroppedPartition counts messages discarded at delivery time because
+	// their link crossed the active cut, across repetitions.
+	DroppedPartition int64
+	// MinorityFreezes counts entries into the minority-frozen state
+	// across all recovery members and repetitions.
+	MinorityFreezes int64
+	// Regenerations counts epochs announced with a regenerated token —
+	// the majority reclaiming a token the cut carried away.
+	Regenerations int64
+	// Epochs counts membership epochs across repetitions.
+	Epochs int64
+	// Grants counts critical sections entered across repetitions; the
+	// workload completes in full, so this doubles as the completion
+	// check's denominator.
+	Grants int64
+	// DetectorMsgsPerSec is the failure-detector message rate per second
+	// of virtual time.
+	DetectorMsgsPerSec float64
+}
+
+// PartitionResult is the partition-tolerance experiment: one point per
+// (cut duration, ρ).
+type PartitionResult struct {
+	Params PartitionParams
+	Scale  Scale
+	Points []PartitionPoint
+}
+
+// Point returns the cell for (duration, rho), or nil.
+func (r *PartitionResult) Point(duration time.Duration, rho float64) *PartitionPoint {
+	for i := range r.Points {
+		if r.Points[i].Duration == duration && r.Points[i].Rho == rho {
+			return &r.Points[i]
+		}
+	}
+	return nil
+}
+
+// partPartial is what one repetition contributes to its (duration, ρ)
+// cell — accumulators and scalar counts, never raw records.
+type partPartial struct {
+	obtain                   stats.Accumulator
+	dropped, freezes, regens int64
+	epochs, grants           int64
+	detectorMsgs             int64
+	virtual                  time.Duration
+}
+
+// digestPartition folds one run's outcome into a partPartial.
+func digestPartition(out partitionOutcome) partPartial {
+	p := partPartial{
+		dropped: out.counters.DroppedPartition,
+		freezes: out.freezes,
+		regens:  out.regens,
+		epochs:  out.epochs,
+		grants:  int64(len(out.records)),
+		virtual: out.elapsed,
+	}
+	p.obtain.Sketch = true
+	for _, r := range out.records {
+		p.obtain.Push(float64(r.Obtaining()) / float64(time.Millisecond))
+	}
+	for _, k := range detectorKinds {
+		p.detectorMsgs += out.counters.ByKind[k]
+	}
+	return p
+}
+
+// RunPartition sweeps the cut-window duration across the scale's ρ axis.
+// Every repetition cuts one seeded cluster off the grid for the window,
+// heals, and drives the workload to full completion: the minority side
+// freezes (no spurious token regeneration on the cut-off side), the
+// majority regenerates and keeps granting, and after the heal the frozen
+// side rejoins through a resync epoch and drains its queued requests.
+//
+// The unit of fan-out is one (duration, ρ, repetition) shard, exactly as
+// in RunRecovery: partials merge in repetition order, so the aggregate is
+// byte-identical for every Workers setting.
+func RunPartition(params PartitionParams, scale Scale, progress func(string)) (*PartitionResult, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, err
+	}
+	if len(params.Durations) == 0 {
+		return nil, fmt.Errorf("harness: RunPartition needs at least one cut duration")
+	}
+	if params.Spec == (core.Spec{}) {
+		params.Spec = core.Spec{Intra: "naimi", Inter: "naimi"}
+	}
+	if params.Period <= 0 {
+		params.Period = 2 * scale.Alpha
+	}
+	// A cut shorter than the failure-detection timeout is invisible to the
+	// recovery layer: the messages it kills are lost without any member
+	// suspecting anything, so a token that died on the cut is never
+	// regenerated and the run stalls. The experiment therefore only admits
+	// windows long enough to be detected with margin.
+	_, inter := partitionTimeouts(params, scale)
+	for _, d := range params.Durations {
+		if d < 2*inter.Timeout {
+			return nil, fmt.Errorf("harness: cut duration %v is below twice the inter detector timeout (%v): an undetected cut loses messages without triggering recovery", d, inter.Timeout)
+		}
+	}
+	res := &PartitionResult{Params: params, Scale: scale}
+
+	type shard struct {
+		duration time.Duration
+		rho      float64
+		rep      int
+	}
+	var shards []shard
+	for _, d := range params.Durations {
+		for _, rho := range scale.Rhos {
+			for rep := 0; rep < scale.Repetitions; rep++ {
+				shards = append(shards, shard{d, rho, rep})
+			}
+		}
+	}
+	runShard := func(s shard) (partPartial, error) {
+		seed := deriveSeed(scale.BaseSeed^int64(s.duration), s.rho, s.rep)
+		out, err := runPartitionOnce(params, scale, s.duration, s.rho, seed)
+		if err != nil {
+			return partPartial{}, fmt.Errorf("harness: partition duration=%v rho=%g rep=%d: %w",
+				s.duration, s.rho, s.rep, err)
+		}
+		return digestPartition(out), nil
+	}
+
+	var partials []partPartial
+	if w := scale.Workers; w < 0 || w > 1 {
+		var err error
+		partials, err = fleet.Map(len(shards), w, func(i int) (partPartial, error) {
+			return runShard(shards[i])
+		})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		partials = make([]partPartial, len(shards))
+		for i := range shards {
+			part, err := runShard(shards[i])
+			if err != nil {
+				return nil, err
+			}
+			partials[i] = part
+		}
+	}
+
+	// Merge each cell's repetitions in index order.
+	next := 0
+	for _, d := range params.Durations {
+		for _, rho := range scale.Rhos {
+			p := PartitionPoint{Duration: d, Rho: rho}
+			obtain := stats.Accumulator{Sketch: true}
+			var detectorMsgs int64
+			var virtual time.Duration
+			for rep := 0; rep < scale.Repetitions; rep++ {
+				part := &partials[next]
+				next++
+				obtain.Merge(&part.obtain)
+				p.DroppedPartition += part.dropped
+				p.MinorityFreezes += part.freezes
+				p.Regenerations += part.regens
+				p.Epochs += part.epochs
+				p.Grants += part.grants
+				detectorMsgs += part.detectorMsgs
+				virtual += part.virtual
+			}
+			p.Obtaining = obtain.Summarize()
+			if sec := virtual.Seconds(); sec > 0 {
+				p.DetectorMsgsPerSec = float64(detectorMsgs) / sec
+			}
+			res.Points = append(res.Points, p)
+			if progress != nil {
+				progress(fmt.Sprintf("cut=%6s rho=%6.0f  obtain=%8.2fms  dropped=%6d  freezes=%4d",
+					d, rho, p.Obtaining.Mean, p.DroppedPartition, p.MinorityFreezes))
+			}
+		}
+	}
+	return res, nil
+}
+
+// PartitionSweep derives the default partition experiment from a figure
+// scale: two ρ values spanning the saturated and sparse regimes, and a
+// cut-duration axis in multiples of the inter detector timeout — the
+// shortest window the recovery layer can actually see (shorter cuts drop
+// messages without any member suspecting anything; RunPartition rejects
+// them).
+func PartitionSweep(scale Scale) (PartitionParams, Scale) {
+	n := float64(scale.N())
+	scale.Rhos = []float64{n / 2, 4 * n}
+	params := PartitionParams{Period: 2 * scale.Alpha}
+	_, inter := partitionTimeouts(params, scale)
+	params.Durations = []time.Duration{
+		2 * inter.Timeout,
+		4 * inter.Timeout,
+		8 * inter.Timeout,
+	}
+	return params, scale
+}
+
+// partitionTimeouts derives the detector options the partition runs use,
+// shared between the duration validation and the per-run build.
+func partitionTimeouts(params PartitionParams, scale Scale) (intra, inter recovery.Options) {
+	remote := scale.RemoteRTT
+	if remote <= 0 {
+		remote = 20 * time.Millisecond
+	}
+	return recovery.StaggeredTimeouts(params.Period, remote/2)
+}
+
+// partitionOutcome is what one partition run yields.
+type partitionOutcome struct {
+	records  []workload.Record
+	freezes  int64
+	regens   int64
+	epochs   int64
+	counters simnet.Counters
+	elapsed  time.Duration
+}
+
+// runPartitionOnce executes one seeded run: build the crash-tolerant
+// deployment, cut one seeded cluster off for the window, heal, and drive
+// the full workload to completion under the recovery-aware monitor.
+func runPartitionOnce(params PartitionParams, scale Scale, duration time.Duration, rho float64, seed int64) (partitionOutcome, error) {
+	// Two reserved nodes per cluster (primary and standby), as in the
+	// crash-recovery experiment.
+	s := scale
+	s.AppsPerCluster++
+	g, err := grid(System{Spec: params.Spec}, s)
+	if err != nil {
+		return partitionOutcome{}, err
+	}
+	sim := des.New()
+	net := simnet.New(sim, g, simnet.Options{Jitter: scale.Jitter, Seed: seed, KindCounts: true})
+	mon := check.NewMonitor(sim)
+	runner, err := workload.NewRunner(sim, workload.Params{
+		Alpha: scale.Alpha, Rho: rho, Dist: workload.Exponential,
+		CSPerProcess: scale.CSPerProcess, Seed: seed,
+	}, mon)
+	if err != nil {
+		return partitionOutcome{}, err
+	}
+
+	// One seeded window: a seeded cluster is cut off at a seeded instant
+	// within the run's opening stretch and healed after the duration.
+	sides := make([][]int, g.NumClusters())
+	for c := range sides {
+		sides[c] = g.NodesIn(c)
+	}
+	horizon := scale.Alpha * time.Duration(scale.CSPerProcess)
+	if horizon < 4*params.Period {
+		horizon = 4 * params.Period
+	}
+	sched := faults.PartitionPulse(seed, sides, horizon, duration)
+	sched.Apply(sim, faults.Actions{
+		// The schedule carries only partition events by construction.
+		Crash:     func(int) { panic("harness: partition schedule fired a crash") },
+		Restart:   func(int) { panic("harness: partition schedule fired a restart") },
+		Partition: net.Partition,
+		Heal:      net.Heal,
+	})
+
+	intra, inter := partitionTimeouts(params, scale)
+	dep, err := recovery.Build(net, g, params.Spec, runner.Callbacks, sim, recovery.BuildOptions{
+		Intra:    intra,
+		Inter:    inter,
+		NodeDown: net.Down,
+		OnEpoch: func(group string, self mutex.ID, e recovery.Epoch, members []mutex.ID, holder mutex.ID) {
+			mon.BeginEpoch(group)
+		},
+		OnRejoin: func(group string, self mutex.ID, e recovery.Epoch) {
+			mon.Rejoined(self)
+		},
+	})
+	if err != nil {
+		return partitionOutcome{}, err
+	}
+	runner.Bind(dep.Apps)
+	runner.Start()
+	limit := uint64(runner.ExpectedTotal())*10_000 + 1_000_000
+	for !runner.Done() {
+		if sim.Processed() > limit {
+			return partitionOutcome{}, fmt.Errorf("liveness: %d requests unsatisfied after %d events",
+				runner.Outstanding(), sim.Processed())
+		}
+		if !sim.Step() {
+			return partitionOutcome{}, fmt.Errorf("queue drained with %d requests unsatisfied", runner.Outstanding())
+		}
+	}
+	dep.Stop()
+	if err := sim.RunCapped(limit); err != nil {
+		return partitionOutcome{}, fmt.Errorf("did not drain: %w", err)
+	}
+	mon.AssertQuiescent()
+	if !mon.Ok() {
+		return partitionOutcome{}, fmt.Errorf("property violation: %s", mon.Violations()[0])
+	}
+	out := partitionOutcome{
+		records:  runner.Records(),
+		epochs:   mon.Epochs(),
+		counters: net.Counters(),
+		elapsed:  sim.Now(),
+	}
+	for _, m := range dep.Members {
+		st := m.Stats()
+		out.freezes += st.MinorityFreezes
+		out.regens += st.Regenerations
+	}
+	return out, nil
+}
+
+// Table renders the partition experiment: obtaining-time inflation and
+// degradation bookkeeping per (cut duration, ρ).
+func (r *PartitionResult) Table(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — graceful degradation under a cluster partition window\n", title)
+	fmt.Fprintf(&b, "N = %d application processes (+2 recovery nodes per cluster), alpha = %v, heartbeat %v, %d CS/process, %d repetitions\n",
+		r.Scale.N(), r.Scale.Alpha, r.Params.Period, r.Scale.CSPerProcess, r.Scale.Repetitions)
+	fmt.Fprintf(&b, "%10s %8s %12s %12s %10s %10s %8s %8s %10s\n",
+		"cut", "rho", "obtain(ms)", "obtain-max", "dropped", "freezes", "regens", "epochs", "grants")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%10s %8.0f %12.3f %12.3f %10d %10d %8d %8d %10d\n",
+			p.Duration, p.Rho, p.Obtaining.Mean, p.Obtaining.Max,
+			p.DroppedPartition, p.MinorityFreezes, p.Regenerations, p.Epochs, p.Grants)
+	}
+	return b.String()
+}

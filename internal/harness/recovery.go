@@ -74,7 +74,7 @@ func (r *RecoveryResult) Point(period time.Duration, rho float64) *RecoveryPoint
 }
 
 // detectorKinds are the message kinds the recovery layer adds.
-var detectorKinds = []string{"rec.hb", "rec.probe", "rec.ack", "rec.epoch"}
+var detectorKinds = []string{"rec.hb", "rec.probe", "rec.ack", "rec.epoch", "rec.join"}
 
 // recPartial is what one crash-recovery repetition contributes to its
 // (period, ρ) cell: accumulators and scalar counts, never raw records, so

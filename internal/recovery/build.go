@@ -30,21 +30,35 @@ type BuildOptions struct {
 	// OnEpoch, when non-nil, observes every epoch application of every
 	// member — the hook monitors and tracers attach to.
 	OnEpoch func(group string, self mutex.ID, e Epoch, members []mutex.ID, holder mutex.ID)
+	// OnRejoin, when non-nil, observes every re-admission of a restarted
+	// member — run harnesses use it to revive workloads and sample
+	// rejoin latency.
+	OnRejoin func(group string, self mutex.ID, e Epoch)
 }
 
-// Standby is a cluster's backup coordinator: a passive member of both the
-// cluster's intra group and the inter group that activates — creates a
-// coordinator automaton and takes over both memberships — when its
-// primary is excluded from the intra group.
+// Standby is a cluster's backup coordinator and the keeper of the
+// cluster's bridge roles: a passive member of both the cluster's intra
+// group and the inter group that activates — creates a coordinator
+// automaton and takes over both memberships — when its primary is
+// excluded from the intra group (or rejoined passively). It also handles
+// the rejoin side: a restarted primary or standby re-enters its groups
+// passively or re-coordinates, and a minority freeze parks whichever
+// automaton currently drives the cluster.
 type Standby struct {
-	id      mutex.ID
-	primary mutex.ID
-	cluster int
-	intraM  *Member
-	interM  *Member
-	coord   *core.Coordinator
+	id       mutex.ID
+	primary  mutex.ID
+	cluster  int
+	intraM   *Member
+	interM   *Member
+	priIntra *Member
+	priInter *Member
+	d        *Deployment
+	coord    *core.Coordinator
 
 	activated bool
+	// priPassive marks a primary that rejoined while the standby was
+	// active: alive, a group member, but not driving the automaton.
+	priPassive bool
 }
 
 // ID returns the standby's process id.
@@ -61,7 +75,10 @@ func (s *Standby) Coordinator() *core.Coordinator { return s.coord }
 // before any buffered traffic is flushed, so the new coordinator's
 // callbacks are in place ahead of queued requests.
 func (s *Standby) onIntraEpoch(e Epoch, members []mutex.ID, holder mutex.ID) {
-	if s.activated || containsID(members, s.primary) || !containsID(members, s.id) {
+	if s.activated || !containsID(members, s.id) {
+		return
+	}
+	if containsID(members, s.primary) && !s.priPassive {
 		return
 	}
 	s.activated = true
@@ -69,7 +86,7 @@ func (s *Standby) onIntraEpoch(e Epoch, members []mutex.ID, holder mutex.ID) {
 	s.coord = c
 	s.intraM.SetCallbacks(c.IntraCallbacks())
 	s.interM.SetCallbacks(c.InterCallbacks())
-	if holder != s.id && holder != mutex.None {
+	if holder != s.id && holder != mutex.None && holder != s.primary {
 		// The intra token is out with an application process, so the dead
 		// primary was IN: the cluster still owns the global CS right.
 		// Inherit the primary's inter possession as a claim — the inter
@@ -83,6 +100,85 @@ func (s *Standby) onIntraEpoch(e Epoch, members []mutex.ID, holder mutex.ID) {
 	// which case Adopt's request simply stays recorded): the cluster does
 	// not own the CS right, boot normally.
 	c.Adopt(s.intraM, s.interM, core.Booting)
+}
+
+// onPrimaryRejoin re-couples the bridge when the restarted primary is
+// re-admitted to the intra group. If the standby took over, the primary
+// rejoins passively; otherwise a fresh automaton is adopted — always
+// from Booting, because a primary restart never resurrects the cluster's
+// critical-section claim (amnesia forfeited it; the join cooldown
+// guarantees the inter group's regeneration runs only after this
+// re-adoption, so the claim cannot be doubled).
+func (s *Standby) onPrimaryRejoin(e Epoch, members []mutex.ID, holder mutex.ID) {
+	if s.activated {
+		s.priPassive = true
+		s.priIntra.SetCallbacks(mutex.Callbacks{})
+		s.priInter.SetCallbacks(mutex.Callbacks{})
+		return
+	}
+	s.priPassive = false
+	c := core.NewCoordinator(s.primary)
+	s.d.Coordinators[s.cluster] = c
+	s.priIntra.SetCallbacks(c.IntraCallbacks())
+	s.priInter.SetCallbacks(c.InterCallbacks())
+	c.Adopt(s.priIntra, s.priInter, core.Booting)
+}
+
+// onStandbyRejoin re-couples the bridge when the restarted standby is
+// re-admitted: it always rejoins passively. If the primary is still
+// gone, the very epoch that re-admits the standby re-triggers the
+// takeover (OnRejoin runs before OnEpoch, where onIntraEpoch hangs).
+func (s *Standby) onStandbyRejoin(e Epoch, members []mutex.ID, holder mutex.ID) {
+	s.activated = false
+	s.coord = nil
+	s.intraM.SetCallbacks(mutex.Callbacks{})
+	s.interM.SetCallbacks(mutex.Callbacks{})
+}
+
+// onPrimaryEpoch re-activates a passive primary when the active standby
+// dies: the epoch that excludes the standby while the primary is a
+// member hands coordination back (mirroring the standby takeover,
+// including the inheritance of the cluster's critical-section claim).
+func (s *Standby) onPrimaryEpoch(e Epoch, members []mutex.ID, holder mutex.ID) {
+	if !s.priPassive || containsID(members, s.id) || !containsID(members, s.primary) {
+		return
+	}
+	s.priPassive = false
+	s.activated = false
+	s.coord = nil
+	c := core.NewCoordinator(s.primary)
+	s.d.Coordinators[s.cluster] = c
+	s.priIntra.SetCallbacks(c.IntraCallbacks())
+	s.priInter.SetCallbacks(c.InterCallbacks())
+	if holder != s.primary && holder != mutex.None && holder != s.id {
+		s.priInter.AdoptCS()
+		c.Adopt(s.priIntra, s.priInter, core.In)
+		return
+	}
+	c.Adopt(s.priIntra, s.priInter, core.Booting)
+}
+
+// onMinority parks or resumes whichever automaton currently drives the
+// cluster. Installed as the OnMinority hook of both inter members; the
+// role flags decide which one acts.
+func (s *Standby) onMinority(standbySide bool, entered bool) {
+	var c *core.Coordinator
+	if standbySide {
+		if !s.activated || s.coord == nil {
+			return
+		}
+		c = s.coord
+	} else {
+		if s.activated || s.priPassive {
+			return
+		}
+		c = s.d.Coordinators[s.cluster]
+	}
+	if entered {
+		c.Isolate()
+	} else {
+		c.Reconnect()
+	}
 }
 
 // Deployment is a wired crash-tolerant grid.
@@ -155,6 +251,27 @@ func Build(fab mutex.Fabric, grid *topology.Grid, spec core.Spec, appCB core.Cal
 			bopts.OnEpoch(group, self, e, members, holder)
 		}
 	}
+	observeRejoin := func(group string, self mutex.ID) func(Epoch, []mutex.ID, mutex.ID) {
+		if bopts.OnRejoin == nil {
+			return nil
+		}
+		return func(e Epoch, _ []mutex.ID, _ mutex.ID) {
+			bopts.OnRejoin(group, self, e)
+		}
+	}
+	// chain composes two epoch hooks in order; nil links collapse away.
+	chain := func(first, second func(Epoch, []mutex.ID, mutex.ID)) func(Epoch, []mutex.ID, mutex.ID) {
+		if first == nil {
+			return second
+		}
+		if second == nil {
+			return first
+		}
+		return func(e Epoch, members []mutex.ID, holder mutex.ID) {
+			first(e, members, holder)
+			second(e, members, holder)
+		}
+	}
 
 	// The inter group spans every primary and standby.
 	var interIDs []mutex.ID
@@ -177,31 +294,26 @@ func Build(fab mutex.Fabric, grid *topology.Grid, spec core.Spec, appCB core.Cal
 		}
 		primary, standbyID := members[0], members[1]
 		coord := core.NewCoordinator(primary)
-		sb := &Standby{id: standbyID, primary: primary, cluster: c}
+		sb := &Standby{id: standbyID, primary: primary, cluster: c, d: d}
 		group := fmt.Sprintf("intra%d", c)
 		for _, id := range members {
 			proc := core.NewProcess(id, fab.Endpoint(id))
 			d.Procs[id] = proc
 			fab.RegisterAt(id, int(id), proc)
 			var cbs mutex.Callbacks
+			var onRole, onRejoin func(Epoch, []mutex.ID, mutex.ID)
 			switch id {
 			case primary:
 				cbs = coord.IntraCallbacks()
+				onRole = sb.onPrimaryEpoch
+				onRejoin = sb.onPrimaryRejoin
 			case standbyID:
 				// Passive until takeover.
+				onRole = sb.onIntraEpoch
+				onRejoin = sb.onStandbyRejoin
 			default:
 				if appCB != nil {
 					cbs = appCB(id)
-				}
-			}
-			onEpoch := observe(group, id)
-			if id == standbyID {
-				obs := onEpoch
-				onEpoch = func(e Epoch, ms []mutex.ID, holder mutex.ID) {
-					if obs != nil {
-						obs(e, ms, holder)
-					}
-					sb.onIntraEpoch(e, ms, holder)
 				}
 			}
 			m, err := NewMember(Config{
@@ -210,7 +322,8 @@ func Build(fab mutex.Fabric, grid *topology.Grid, spec core.Spec, appCB core.Cal
 				Callbacks:   cbs,
 				HolderPrefs: []mutex.ID{primary, standbyID},
 				CrashedSelf: down(id),
-				OnEpoch:     onEpoch,
+				OnEpoch:     chain(observe(group, id), onRole),
+				OnRejoin:    chain(onRejoin, observeRejoin(group, id)),
 				Opts:        intraOpts,
 			})
 			if err != nil {
@@ -220,7 +333,7 @@ func Build(fab mutex.Fabric, grid *topology.Grid, spec core.Spec, appCB core.Cal
 			d.Members = append(d.Members, m)
 			switch id {
 			case primary:
-				// wired below, with the inter member
+				sb.priIntra = m
 			case standbyID:
 				sb.intraM = m
 			default:
@@ -235,10 +348,12 @@ func Build(fab mutex.Fabric, grid *topology.Grid, spec core.Spec, appCB core.Cal
 	var interMembers []*Member
 	for c := 0; c < grid.NumClusters(); c++ {
 		nodes := grid.NodesIn(c)
+		sb := d.Standbys[c]
 		for i, role := range []mutex.ID{mutex.ID(nodes[0]), mutex.ID(nodes[1])} {
 			id := role
+			standbySide := i == 1
 			var cbs mutex.Callbacks
-			if i == 0 {
+			if !standbySide {
 				cbs = d.Coordinators[c].InterCallbacks()
 			}
 			m, err := NewMember(Config{
@@ -247,6 +362,8 @@ func Build(fab mutex.Fabric, grid *topology.Grid, spec core.Spec, appCB core.Cal
 				Callbacks:   cbs,
 				CrashedSelf: down(id),
 				OnEpoch:     observe("inter", id),
+				OnRejoin:    observeRejoin("inter", id),
+				OnMinority:  func(entered bool) { sb.onMinority(standbySide, entered) },
 				Opts:        interOpts,
 			})
 			if err != nil {
@@ -254,9 +371,10 @@ func Build(fab mutex.Fabric, grid *topology.Grid, spec core.Spec, appCB core.Cal
 			}
 			d.Procs[id].Attach(1, m)
 			interMembers = append(interMembers, m)
-			if i == 1 {
-				d.Standbys[c].interM = m
+			if standbySide {
+				sb.interM = m
 			} else {
+				sb.priInter = m
 				// Start the primary's automaton on its serial context,
 				// exactly like core's builder.
 				coord, intraM := d.Coordinators[c], d.memberOf(id, 0)

@@ -40,16 +40,61 @@
 // application process would let the cluster enter critical sections
 // without the global (inter) token, so the leader announces a frozen
 // epoch (Holder == None) and the group stops — safety over liveness.
-// Restarted nodes regain connectivity but are not re-admitted to their
-// groups: the member retires on the down→up edge instead of acting on
-// pre-crash state. Re-admission (state hand-off to a rejoining node) is
-// future work.
+//
+// # Rejoin
+//
+// A restarted node comes back amnesiac: on the down→up edge the member
+// discards all protocol state except the epoch ordinal (modeled as
+// stable storage — any strictly greater epoch is accepted, so keeping a
+// stale lower bound only tightens the fence against pre-crash traffic)
+// and enters the rejoining state. While rejoining it sends heartbeats —
+// so peers that still count it as a member rescind their suspicion — and
+// Rejoin beacons to the full configured membership, but it is otherwise
+// protocol-silent: it answers no probes, leads no rounds, and buffers
+// future-epoch algorithm traffic. Peers record the beacon and exclude a
+// pending joiner from leadership, census targets and epoch membership
+// for one detector Timeout (the join cooldown): the delay guarantees the
+// group's normal crash recovery — in particular a cluster's staggered
+// intra-before-inter reconstruction of critical-section claims — has run
+// its course before the joiner is folded back in. Once the cooldown
+// elapses, the leader runs an ordinary probe round and announces an
+// epoch whose membership includes the joiner; applying that epoch
+// rebuilds the joiner's algorithm instance from the shared configuration
+// (the resync — sparse request arrays and parent pointers are
+// reconstructed consistently everywhere because every member rebuilds
+// from the same membership and holder), fires Config.OnRejoin so the
+// composition layer can re-couple the bridge automaton, and ends the
+// rejoining state. A joiner is always admitted state-less: amnesia
+// cleared its claims, so its zero-valued census answer is truthful.
+//
+// # Partitions and minority freeze
+//
+// A network cut makes both sides suspect each other, which breaks the
+// accuracy assumption regeneration rests on: if both sides censused and
+// regenerated, the token would be doubled. Two quorum rules prevent it.
+// First, a leader only announces an epoch when the surviving membership
+// is a strict majority of the current epoch's membership; a census that
+// ends below quorum freezes the member locally instead (minority
+// freeze). Second, any member that can no longer hear a strict majority
+// of its epoch's membership freezes without waiting to lead. A
+// minority-frozen member discards its instance (stopping local grants —
+// new owner requests are recorded in owner state, a queue bounded by one
+// request per member), forfeits a critical-section claim through
+// Config.OnMinority so the composition bridge can park, and beacons
+// Rejoin like a restarted node. On heal the majority leader re-admits
+// the strays through the join path; the resync epoch re-issues recorded
+// requests, so the frozen queue drains in membership order, and
+// pre-partition algorithm traffic is fenced off by its dead epoch.
+// Liveness requires a majority side: a cut that leaves no strict
+// majority freezes both sides until it heals (then the sides thaw by
+// re-hearing each other and rebuild through a join round) — safety over
+// liveness, exactly like the frozen-epoch rule.
 //
 // The failure detector is timeout-based, so safety of regeneration rests
 // on the usual accuracy assumption: a live, reachable member is never
 // suspected. Under the simulator latencies are bounded, so any Timeout
 // exceeding the heartbeat period plus the maximum one-way delay makes the
-// detector accurate in the absence of real crashes.
+// detector accurate in the absence of real crashes and partitions.
 package recovery
 
 import (
@@ -99,6 +144,18 @@ func (Heartbeat) Kind() string { return "rec.hb" }
 
 // Size implements mutex.Message: a one-byte tag.
 func (Heartbeat) Size() int { return 1 }
+
+// Rejoin is the re-admission beacon: sent by an amnesiac restarted
+// member, a minority-frozen member, and any member left without an
+// algorithm instance (excluded by a false suspicion, or thawed from an
+// even-split freeze), until an epoch folds the sender back in.
+type Rejoin struct{}
+
+// Kind implements mutex.Message.
+func (Rejoin) Kind() string { return "rec.join" }
+
+// Size implements mutex.Message: a one-byte tag.
+func (Rejoin) Size() int { return 1 }
 
 // Probe asks a member for its token census answer during round Round.
 type Probe struct {
@@ -215,6 +272,21 @@ type Config struct {
 	// before buffered future-epoch messages are flushed, so a standby
 	// taking over installs its callbacks ahead of any queued request.
 	OnEpoch func(e Epoch, members []mutex.ID, holder mutex.ID)
+	// OnRejoin, when non-nil, fires when this member is re-admitted after
+	// a restart: the admitting epoch has been applied and the fresh
+	// instance built, but neither OnEpoch nor the future-message flush
+	// has run yet. The composition layer uses it to re-couple the bridge
+	// (a restarted primary rebuilds its coordinator, or rejoins passively
+	// when its standby already took over).
+	OnRejoin func(e Epoch, members []mutex.ID, holder mutex.ID)
+	// OnMinority, when non-nil, marks this member as a composition-bridge
+	// endpoint. Entering the minority-frozen state then forfeits an in-CS
+	// claim (the majority side will regenerate the token, and two claims
+	// must not coexist after the heal) and fires OnMinority(true) so the
+	// bridge can park; OnMinority(false) fires on thaw. Leave nil for
+	// application-owned members: they keep their claim, which is safe
+	// because a group without a majority anywhere never regenerates.
+	OnMinority func(entered bool)
 	// Opts tunes the failure detector.
 	Opts Options
 }
@@ -237,10 +309,21 @@ type Stats struct {
 	FencedDropped int64
 	// HeartbeatsSent counts heartbeats emitted.
 	HeartbeatsSent int64
-	// Frozen reports whether the member's group froze.
+	// Restarts counts down→up edges: each makes the member amnesiac and
+	// starts a rejoin (see package doc).
+	Restarts int64
+	// Rejoins counts completed re-admissions after a restart.
+	Rejoins int64
+	// MinorityFreezes counts entries into the minority-frozen state.
+	MinorityFreezes int64
+	// Frozen reports whether the member's group froze (no preferred
+	// holder survived).
 	Frozen bool
-	// Retired reports whether the member retired after its node restarted.
-	Retired bool
+	// Minority reports whether the member is currently minority-frozen.
+	Minority bool
+	// Rejoining reports whether the member is awaiting re-admission
+	// after a restart.
+	Rejoining bool
 }
 
 type ownerState uint8
@@ -254,6 +337,13 @@ const (
 type bufferedMsg struct {
 	from mutex.ID
 	msg  Wrapped
+}
+
+// joinBid tracks one peer's Rejoin beacons: first starts the join
+// cooldown, last detects a joiner that died again mid-join.
+type joinBid struct {
+	first des.Time
+	last  des.Time
 }
 
 // Member is one process's endpoint of a crash-tolerant group: a
@@ -287,11 +377,14 @@ type Member struct {
 	fencedBuf []bufferedMsg
 	future    []bufferedMsg
 
-	frozen  bool
-	started bool
-	stopped bool
-	wasDown bool
-	retired bool
+	frozen    bool
+	started   bool
+	stopped   bool
+	wasDown   bool
+	rejoining bool
+	minority  bool
+
+	pendingJoin map[mutex.ID]joinBid
 
 	stats Stats
 }
@@ -346,7 +439,8 @@ func (m *Member) Live() []mutex.ID { return m.live }
 func (m *Member) Stats() Stats {
 	s := m.stats
 	s.Frozen = m.frozen
-	s.Retired = m.retired
+	s.Minority = m.minority
+	s.Rejoining = m.rejoining
 	return s
 }
 
@@ -506,7 +600,7 @@ func (m *Member) down() bool { return m.cfg.CrashedSelf != nil && m.cfg.CrashedS
 
 // tick is the heartbeat-period heartbeat/suspect/lead step.
 func (m *Member) tick() {
-	if m.stopped || m.retired {
+	if m.stopped {
 		return
 	}
 	if m.down() {
@@ -515,11 +609,10 @@ func (m *Member) tick() {
 		return
 	}
 	if m.wasDown {
-		// The node restarted. Acting on pre-crash state would corrupt the
-		// group (stale claims, stale leadership), so the member retires;
-		// re-admission is future work (see package doc).
-		m.retired = true
-		return
+		// The node restarted: it comes back amnesiac and earns its way
+		// back in through the rejoin path (see package doc).
+		m.wasDown = false
+		m.amnesia()
 	}
 	for _, id := range m.live {
 		if id == m.cfg.Self {
@@ -528,7 +621,7 @@ func (m *Member) tick() {
 		m.cfg.Env.Send(id, Heartbeat{})
 		m.stats.HeartbeatsSent++
 	}
-	if !m.frozen {
+	if !m.frozen && !m.rejoining {
 		now := m.cfg.Clock.Now()
 		for _, id := range m.live {
 			if id == m.cfg.Self || m.suspects[id] {
@@ -539,22 +632,172 @@ func (m *Member) tick() {
 				m.stats.Suspicions++
 			}
 		}
-		if !m.probing && m.isLeader() && m.anySuspectLive() {
+	}
+	if m.rejoining || m.minority || (m.inner == nil && !m.frozen) {
+		// Beacon for (re-)admission: an amnesiac rejoiner, a
+		// minority-frozen member, and any member left without an
+		// instance (false-suspicion exclusion, even-split thaw) all
+		// need an epoch to fold them back in.
+		for _, id := range m.cfg.Members {
+			if id != m.cfg.Self {
+				m.cfg.Env.Send(id, Rejoin{})
+			}
+		}
+	}
+	switch {
+	case m.rejoining:
+		// Protocol-silent until an epoch admits us.
+	case m.minority:
+		// Re-check the quorum: after an even split — both sides frozen,
+		// no epoch ever announced — the heal lets the sides re-hear
+		// each other (heartbeats rescind suspicion), and the group is
+		// rebuilt through the beacon path above.
+		if 2*m.reachable() > len(m.live) {
+			m.exitMinority()
+		}
+	case m.frozen:
+		// A frozen group revives only when a preferred holder rejoins.
+		if !m.probing && m.isLeader() && m.anyJoinReady() {
+			m.startRound()
+		}
+	case 2*m.reachable() <= len(m.live):
+		// This member can no longer hear a strict majority of its
+		// epoch's membership: it may sit on the losing side of a
+		// partition whose majority is about to regenerate. Freeze now —
+		// the cut costs one detector Timeout to notice, while the
+		// majority's census needs Timeout plus a probe round, so the
+		// freeze always lands first.
+		m.enterMinority()
+	default:
+		if !m.probing && m.isLeader() && (m.anySuspectLive() || m.anyJoinReady()) {
 			m.startRound()
 		}
 	}
 	m.cfg.Clock.After(m.opts.Period, m.tick)
 }
 
-// isLeader reports whether this member is the lowest-id unsuspected live
-// member — the one that runs probe rounds and announces epochs.
-func (m *Member) isLeader() bool {
+// amnesia resets the member on the down→up edge: every piece of protocol
+// state is discarded except the epoch ordinal (modeled as stable storage
+// — a stale lower bound only tightens the fence against pre-crash
+// traffic) and the owner callbacks (the restarted process re-registers
+// the same handlers; the composition layer swaps them via OnRejoin).
+func (m *Member) amnesia() {
+	m.rejoining = true
+	m.stats.Restarts++
+	m.minority = false
+	m.frozen = false
+	m.inner = nil
+	m.owner = ownerIdle
+	m.suppressAcquire = false
+	m.releaseOnAcquire = false
+	m.probing = false
+	m.fenced = false
+	m.fencedBuf = nil
+	m.future = nil
+	m.acks = nil
+	m.targets = m.targets[:0]
+	m.pendingJoin = nil
+	m.suspects = make(map[mutex.ID]bool)
+	m.live = append([]mutex.ID(nil), m.cfg.Members...)
+	sort.Slice(m.live, func(i, j int) bool { return m.live[i] < m.live[j] })
+	now := m.cfg.Clock.Now()
 	for _, id := range m.live {
-		if !m.suspects[id] {
-			return id == m.cfg.Self
+		m.lastHeard[id] = now
+	}
+}
+
+// reachable counts the current-epoch members this member can still hear,
+// itself included.
+func (m *Member) reachable() int {
+	n := 0
+	for _, id := range m.live {
+		if id == m.cfg.Self || !m.suspects[id] {
+			n++
+		}
+	}
+	return n
+}
+
+// enterMinority freezes a member that may sit on the losing side of a
+// partition (or that censused a sub-majority survivor set): safety over
+// liveness — see the package doc.
+func (m *Member) enterMinority() {
+	if m.minority {
+		return
+	}
+	m.minority = true
+	m.stats.MinorityFreezes++
+	m.probing = false
+	// The instance dies: no grant may be issued from a side the majority
+	// may have censused out. Owner requests stay recorded in owner state
+	// — the bounded frozen queue — and the resync epoch re-issues them.
+	m.inner = nil
+	m.stats.FencedDropped += int64(len(m.fencedBuf))
+	m.fencedBuf = nil
+	m.fenced = false
+	if m.cfg.OnMinority != nil {
+		// A composition bridge forfeits its critical-section claim: the
+		// majority regenerates, and two claims must not meet at heal.
+		if m.owner == ownerInCS {
+			m.owner = ownerIdle
+		}
+		m.cfg.OnMinority(true)
+	}
+}
+
+// exitMinority thaws a minority-frozen member; the instance is rebuilt
+// by the resync epoch (the beacon path requests one).
+func (m *Member) exitMinority() {
+	m.minority = false
+	if m.cfg.OnMinority != nil {
+		m.cfg.OnMinority(false)
+	}
+}
+
+// joinFresh reports whether a pending joiner is still beaconing.
+func (m *Member) joinFresh(b joinBid) bool {
+	return time.Duration(m.cfg.Clock.Now()-b.last) <= m.opts.Timeout
+}
+
+// joinReady reports whether a pending joiner's cooldown has elapsed: one
+// detector Timeout of beaconing, so the group's normal crash recovery —
+// in particular the staggered intra-before-inter reconstruction of
+// critical-section claims — finishes before the joiner is folded in.
+func (m *Member) joinReady(b joinBid) bool {
+	return time.Duration(m.cfg.Clock.Now()-b.first) >= m.opts.Timeout
+}
+
+func (m *Member) anyJoinReady() bool {
+	//lint:allow desdeterminism order-independent: a pure OR over the entries, no state or sends
+	for _, b := range m.pendingJoin {
+		if m.joinFresh(b) && m.joinReady(b) {
+			return true
 		}
 	}
 	return false
+}
+
+// isLeader reports whether this member runs probe rounds and announces
+// epochs: the lowest-id unsuspected live member, skipping pending
+// joiners (an amnesiac is protocol-silent, so it can neither lead nor be
+// allowed to block leadership). If every candidate is a pending joiner —
+// an even-split thaw, where the whole group beacons for a resync — the
+// skip is waived so someone can lead the rebuild.
+func (m *Member) isLeader() bool {
+	fallback := mutex.None
+	for _, id := range m.live {
+		if m.suspects[id] {
+			continue
+		}
+		if fallback == mutex.None {
+			fallback = id
+		}
+		if b, ok := m.pendingJoin[id]; ok && m.joinFresh(b) {
+			continue
+		}
+		return id == m.cfg.Self
+	}
+	return fallback == m.cfg.Self
 }
 
 func (m *Member) anySuspectLive() bool {
@@ -569,8 +812,8 @@ func (m *Member) anySuspectLive() bool {
 // heard records aliveness evidence from a peer.
 func (m *Member) heard(from mutex.ID) {
 	if _, known := m.lastHeard[from]; !known {
-		// Not part of the current membership universe (e.g. a retired or
-		// excluded node): evidence is ignored, re-admission is future work.
+		// Not part of the current membership: heartbeats alone don't
+		// re-admit — the Rejoin beacon path does.
 		if !containsID(m.live, from) {
 			return
 		}
@@ -592,7 +835,7 @@ func (m *Member) fence() {
 	m.fenceGen++
 	gen := m.fenceGen
 	m.cfg.Clock.After(m.opts.ProbeTimeout+m.opts.Timeout, func() {
-		if m.stopped || m.retired || !m.fenced || gen != m.fenceGen {
+		if m.stopped || !m.fenced || gen != m.fenceGen {
 			return
 		}
 		m.fenced = false
@@ -622,6 +865,12 @@ func (m *Member) startRound() {
 		if id == m.cfg.Self || m.suspects[id] {
 			continue
 		}
+		if b, ok := m.pendingJoin[id]; ok && m.joinFresh(b) {
+			// A pending joiner answers no probes, and its state-less
+			// census answer is implied — skip it so the round need not
+			// time out on it.
+			continue
+		}
 		m.targets = append(m.targets, id)
 	}
 	if len(m.targets) == 0 {
@@ -636,7 +885,7 @@ func (m *Member) startRound() {
 }
 
 func (m *Member) roundTimeout(round uint32) {
-	if m.stopped || m.retired || m.down() || !m.probing || round != m.round {
+	if m.stopped || m.down() || !m.probing || round != m.round {
 		return
 	}
 	// Unanswered members are suspected; retry with the smaller target set
@@ -679,9 +928,46 @@ func (m *Member) finishRound() {
 	m.probing = false
 	var newLive []mutex.ID
 	for _, id := range m.live {
-		if !m.suspects[id] {
+		if m.suspects[id] {
+			continue
+		}
+		if b, ok := m.pendingJoin[id]; ok && m.joinFresh(b) && !m.joinReady(b) {
+			// Mid-cooldown joiner: keep it out of this epoch; the join
+			// round after its cooldown admits it.
+			continue
+		}
+		newLive = append(newLive, id)
+	}
+	// Fold in the joiners whose cooldown elapsed. A joiner is always
+	// admitted state-less — amnesia (or the minority forfeit) cleared its
+	// claims — so skipping its census answer is sound. Iterate sorted for
+	// determinism; prune entries whose beacons lapsed (died again).
+	joiners := make([]mutex.ID, 0, len(m.pendingJoin))
+	for id := range m.pendingJoin {
+		joiners = append(joiners, id)
+	}
+	sort.Slice(joiners, func(i, j int) bool { return joiners[i] < joiners[j] })
+	for _, id := range joiners {
+		b := m.pendingJoin[id]
+		if !m.joinFresh(b) {
+			delete(m.pendingJoin, id)
+			continue
+		}
+		if !m.joinReady(b) {
+			continue
+		}
+		if !containsID(newLive, id) {
 			newLive = append(newLive, id)
 		}
+		delete(m.pendingJoin, id)
+	}
+	sort.Slice(newLive, func(i, j int) bool { return newLive[i] < newLive[j] })
+	// Quorum gate: announcing an epoch from a sub-majority survivor set
+	// would double the token if the other side of a partition does the
+	// same — freeze locally instead and wait for the heal.
+	if 2*len(newLive) <= len(m.live) {
+		m.enterMinority()
+		return
 	}
 	// With holder preferences configured, every preferred member dead
 	// means the group can no longer be coordinated (for an intra group:
@@ -780,13 +1066,18 @@ func (m *Member) applyNewEpoch(ne NewEpoch) {
 	for _, id := range m.live {
 		m.lastHeard[id] = now
 	}
+	// An admitted joiner is folded back in by this epoch.
+	for _, id := range m.live {
+		delete(m.pendingJoin, id)
+	}
+	m.frozen = ne.Holder == mutex.None
 	switch {
-	case ne.Holder == mutex.None:
+	case m.frozen:
 		m.inner = nil
-		m.frozen = true
 	case !containsID(m.live, m.cfg.Self):
 		// Excluded (a false suspicion): no instance; this member's owner
-		// requests stay recorded but cannot be served.
+		// requests stay recorded but cannot be served until the beacon
+		// path re-admits it.
 		m.inner = nil
 	default:
 		if err := m.buildInner(); err != nil {
@@ -802,6 +1093,20 @@ func (m *Member) applyNewEpoch(ne NewEpoch) {
 			m.inner.Request()
 		case ownerRequested:
 			m.inner.Request()
+		}
+	}
+	if containsID(m.live, m.cfg.Self) {
+		if m.minority {
+			m.exitMinority()
+		}
+		if m.rejoining {
+			// Re-admitted: the resync is this very epoch (every member
+			// rebuilt its instance from the same membership and holder).
+			m.rejoining = false
+			m.stats.Rejoins++
+			if m.cfg.OnRejoin != nil {
+				m.cfg.OnRejoin(ne.E, append([]mutex.ID(nil), m.live...), m.holder)
+			}
 		}
 	}
 	// Owner hook before the flush: a standby taking over installs its
@@ -831,14 +1136,38 @@ func (m *Member) applyNewEpoch(ne NewEpoch) {
 // messages drive the detector, Wrapped messages reach the current epoch's
 // instance (or are buffered/dropped by epoch).
 func (m *Member) Deliver(from mutex.ID, msg mutex.Message) {
-	if m.stopped || m.retired || m.down() {
+	if m.stopped || m.down() {
 		return
 	}
 	switch t := msg.(type) {
 	case Heartbeat:
 		m.heard(from)
+	case Rejoin:
+		m.heard(from)
+		if m.rejoining || m.minority {
+			// This member needs re-admission itself; it can't grant any.
+			return
+		}
+		now := m.cfg.Clock.Now()
+		b, ok := m.pendingJoin[from]
+		if !ok || !m.joinFresh(b) {
+			// First beacon (or beacons lapsed — the joiner died again):
+			// the cooldown starts here.
+			b.first = now
+		}
+		b.last = now
+		if m.pendingJoin == nil {
+			m.pendingJoin = make(map[mutex.ID]joinBid)
+		}
+		m.pendingJoin[from] = b
 	case Probe:
 		m.heard(from)
+		if m.rejoining || m.minority {
+			// Protocol-silent: an amnesiac (or forfeited) answer would
+			// be meaningless; rounds exclude this member from their
+			// targets anyway.
+			return
+		}
 		if t.E.Less(m.epoch) {
 			m.stats.StaleDropped++
 			return

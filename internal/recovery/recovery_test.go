@@ -88,6 +88,11 @@ func buildRig(t *testing.T, seed int64, wrapCB func(r *rig, id mutex.ID, inner m
 			tr.Record(trace.Custom, self, holder, "epoch "+group+" "+e.String())
 			mon.BeginEpoch(group)
 		},
+		OnRejoin: func(group string, self mutex.ID, e Epoch) {
+			tr.Record(trace.Custom, self, mutex.None, "rejoin "+group+" "+e.String())
+			mon.Rejoined(self)
+			runner.Revive(self)
+		},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -104,6 +109,15 @@ func (r *rig) crash(id mutex.ID) {
 	r.runner.Crash(id)
 	r.mon.Crashed(id)
 	r.tr.Record(trace.Custom, id, mutex.None, "crash")
+}
+
+// restart brings a crashed node back up: network connectivity returns and
+// the monitor opens a rejoin-latency sample; the node's members notice the
+// up edge on their next tick and run the rejoin protocol.
+func (r *rig) restart(id mutex.ID) {
+	r.net.Restart(int(id))
+	r.mon.Restarted(id)
+	r.tr.Record(trace.Custom, id, mutex.None, "restart")
 }
 
 // drive steps the simulation until the workload completes (heartbeats
@@ -240,5 +254,189 @@ func TestFaultyRunDeterministic(t *testing.T) {
 	}
 	if d3, _ := run(12); d3 == d1 {
 		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// idleInst is a token-less stub algorithm instance for detector-only tests.
+type idleInst struct{}
+
+func (idleInst) Request()                          {}
+func (idleInst) Release()                          {}
+func (idleInst) Deliver(mutex.ID, mutex.Message)   {}
+func (idleInst) HasPending() bool                  { return false }
+func (idleInst) HoldsToken() bool                  { return false }
+func (idleInst) State() mutex.State                { return mutex.NoReq }
+
+// TestRestartHeartbeatUnsuspects is the detector regression for the rejoin
+// path: a suspicion formed while a node was down must be rescinded by its
+// fresh post-restart heartbeats within one probe census — before any round
+// acts on it. The observable is the tick-time minority rule: with the
+// stale suspicion cleared, a later unrelated crash leaves the observer
+// hearing 3 of 4 members (no freeze); with it retained, the observer would
+// count 2 of 4 and spuriously minority-freeze.
+func TestRestartHeartbeatUnsuspects(t *testing.T) {
+	g := topology.Uniform(1, 4, 10*time.Millisecond, 10*time.Millisecond)
+	sim := des.New()
+	net := simnet.New(sim, g, simnet.Options{Seed: 1})
+	ids := []mutex.ID{0, 1, 2, 3}
+	factory := func(mutex.Config) (mutex.Instance, error) { return idleInst{}, nil }
+	members := make([]*Member, len(ids))
+	for i, id := range ids {
+		id := id
+		opts := Options{Period: 10 * time.Millisecond, Timeout: 45 * time.Millisecond}
+		if id == 0 {
+			// The leader never suspects (and so never rounds): the test
+			// isolates the heartbeat path from the census path.
+			opts.Timeout = 4 * time.Second
+		}
+		m, err := NewMember(Config{
+			Group: "g", Self: id, Members: ids, Holder: 0,
+			Factory: factory, Env: net.Endpoint(id), Clock: sim,
+			CrashedSelf: func() bool { return net.ProcessDown(id) },
+			Opts:        opts,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.Register(id, m)
+		members[i] = m
+	}
+	for _, m := range members {
+		m.Start()
+	}
+	sim.After(1*time.Millisecond, func() { net.Crash(2) })
+	sim.After(60*time.Millisecond, func() { net.Restart(2) })
+	sim.After(115*time.Millisecond, func() { net.Crash(3) })
+	runUntil := func(at des.Time) {
+		for sim.Now() < at {
+			if !sim.Step() {
+				t.Fatal("event queue drained unexpectedly")
+			}
+		}
+	}
+	obs := members[1]
+	runUntil(100 * time.Millisecond)
+	if s := obs.Stats(); s.Suspicions != 1 {
+		t.Fatalf("observer suspicions %d before second crash, want 1 (the downed node)", s.Suspicions)
+	}
+	runUntil(250 * time.Millisecond)
+	s := obs.Stats()
+	if s.Suspicions != 2 {
+		t.Fatalf("observer suspicions %d, want 2 (one per crash; the first rescinded by restart heartbeats)", s.Suspicions)
+	}
+	if s.MinorityFreezes != 0 || s.Minority {
+		t.Fatalf("observer minority-froze (freezes=%d, minority=%v): stale suspicion of the restarted node survived its heartbeats", s.MinorityFreezes, s.Minority)
+	}
+	if rs := members[2].Stats(); rs.Restarts != 1 || !rs.Rejoining {
+		t.Fatalf("restarted member stats %+v, want Restarts=1 and Rejoining (no epoch admitted it yet)", rs)
+	}
+}
+
+// TestRestartRejoinCompletes is the full-lifecycle acceptance: an
+// application token holder crashes inside its critical section, the node
+// restarts, the amnesiac member is re-admitted under a live epoch, the
+// revived process finishes its remaining critical sections, and the
+// monitor samples one rejoin latency.
+func TestRestartRejoinCompletes(t *testing.T) {
+	victim := mutex.ID(2) // first app of cluster 0
+	entries := 0
+	r := buildRig(t, 3, func(r *rig, id mutex.ID, inner mutex.Callbacks) mutex.Callbacks {
+		if id != victim {
+			return inner
+		}
+		return mutex.Callbacks{OnAcquire: func() {
+			inner.OnAcquire()
+			entries++
+			if entries == 2 {
+				r.crash(victim)
+				r.sim.After(150*time.Millisecond, func() { r.restart(victim) })
+			}
+		}}
+	})
+	r.drive(t)
+	r.assertClean(t)
+	if r.mon.CrashExits() != 1 {
+		t.Fatalf("crash exits %d, want 1", r.mon.CrashExits())
+	}
+	// The revived victim re-runs the 5 critical sections the crash
+	// forfeited: 8 survivors × 6, plus the victim's 2 pre-crash and 5
+	// post-rejoin entries.
+	if got, want := len(r.runner.Records()), 8*6+2+5; got != want {
+		t.Fatalf("records %d, want %d (revived process must finish its forfeited critical sections)", got, want)
+	}
+	if r.mon.Restarts() != 1 {
+		t.Fatalf("monitor restarts %d, want 1", r.mon.Restarts())
+	}
+	if r.mon.Rejoins() < 1 {
+		t.Fatal("monitor recorded no rejoin")
+	}
+	if lat := r.mon.RejoinLatencies(); len(lat) != 1 || lat[0] <= 0 {
+		t.Fatalf("rejoin latencies %v, want one positive sample", lat)
+	}
+	vm := r.dep.Members[2] // intra members are ordered by cluster then id
+	if vm.ID() != victim {
+		t.Fatalf("member order changed: got id %d", vm.ID())
+	}
+	if s := vm.Stats(); s.Restarts != 1 || s.Rejoins != 1 || s.Rejoining {
+		t.Fatalf("victim member stats %+v, want Restarts=1 Rejoins=1 and not rejoining", s)
+	}
+	for _, sb := range r.dep.Standbys {
+		if sb.Activated() {
+			t.Fatalf("standby %d activated though only an app crash-restarted", sb.ID())
+		}
+	}
+}
+
+// TestPartitionMinorityFreezeHeals cuts cluster 0 (2 of the 6 inter
+// members) off the grid mid-run: the minority side must freeze rather than
+// regenerate the inter token, requests on the cut side queue frozen, and
+// the heal re-admits the strays so every process still completes — with a
+// byte-identical trace per seed.
+func TestPartitionMinorityFreezeHeals(t *testing.T) {
+	run := func(seed int64) (dump string, records int) {
+		r := buildRig(t, seed, nil)
+		r.sim.After(100*time.Millisecond, func() {
+			r.net.Partition([]int{0, 1, 2, 3, 4})
+			r.tr.Record(trace.Custom, 0, mutex.None, "partition")
+		})
+		r.sim.After(1*time.Second, func() {
+			r.net.Heal()
+			r.tr.Record(trace.Custom, 0, mutex.None, "heal")
+		})
+		r.drive(t)
+		r.assertClean(t)
+		var freezes, minorityRegens int64
+		for _, m := range r.dep.Members {
+			if m.Group() != "inter" || m.ID() > 1 {
+				continue
+			}
+			s := m.Stats()
+			freezes += s.MinorityFreezes
+			minorityRegens += s.Regenerations
+			if s.Minority {
+				t.Fatalf("inter member %d still minority-frozen after heal", m.ID())
+			}
+		}
+		if freezes == 0 {
+			t.Fatal("no inter member on the cut side minority-froze")
+		}
+		if minorityRegens != 0 {
+			t.Fatalf("minority side announced %d regenerations; the quorum gate must forbid that", minorityRegens)
+		}
+		if c := r.net.Counters(); c.DroppedPartition == 0 {
+			t.Fatal("no message was dropped at the cut")
+		}
+		return r.tr.Dump(), len(r.runner.Records())
+	}
+	d1, n1 := run(4)
+	if want := 9 * 6; n1 != want {
+		t.Fatalf("records %d, want %d (no process crashed, so the frozen queue must drain on heal)", n1, want)
+	}
+	d2, n2 := run(4)
+	if d1 != d2 || n1 != n2 {
+		t.Fatal("same seed produced different partitioned runs")
+	}
+	if !strings.Contains(d1, "partition") || !strings.Contains(d1, "heal") {
+		t.Fatalf("trace misses partition/heal marks:\n%.400s", d1)
 	}
 }

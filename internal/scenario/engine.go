@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"gridmutex/internal/adaptive"
@@ -112,9 +113,22 @@ func Run(sc *Scenario, opts Options) (*Result, error) {
 		runner.Crash(mutex.ID(node))
 		mon.Crashed(mutex.ID(node))
 	}
+	// Restart restores connectivity and opens the rejoin-latency sample;
+	// the workload process stays dead until the recovery layer re-admits
+	// it (OnRejoin below revives it). The node leaves the crashed set:
+	// from here on its completion and frozen state count as evidence
+	// again.
+	restart := func(node int) {
+		delete(crashed, node)
+		net.Restart(node)
+		mon.Restarted(mutex.ID(node))
+	}
 	appCB := wireHolderKills(sc, g, runner, crash)
 	if sched := buildSchedule(sc, g); len(sched) > 0 {
-		sched.Apply(sim, faults.Actions{Crash: crash, Restart: net.Restart})
+		sched.Apply(sim, faults.Actions{
+			Crash: crash, Restart: restart,
+			Partition: net.Partition, Heal: net.Heal,
+		})
 	}
 
 	var coordOpts []func(*core.Coordinator)
@@ -138,6 +152,10 @@ func Run(sc *Scenario, opts Options) (*Result, error) {
 				NodeDown: net.Down,
 				OnEpoch: func(group string, self mutex.ID, e recovery.Epoch, members []mutex.ID, holder mutex.ID) {
 					mon.BeginEpoch(group)
+				},
+				OnRejoin: func(group string, self mutex.ID, e recovery.Epoch) {
+					mon.Rejoined(self)
+					runner.Revive(self)
 				},
 			})
 	case sc.System.Adaptive:
@@ -314,6 +332,16 @@ func buildSchedule(sc *Scenario, g *topology.Grid) faults.Schedule {
 				MinDown: f.MinDown,
 				MaxDown: f.MaxDown,
 			})...)
+		case FaultPartition:
+			var cut []int
+			for _, c := range f.Clusters {
+				cut = append(cut, g.NodesIn(c)...)
+			}
+			sort.Ints(cut)
+			sched = append(sched, faults.Event{At: des.Time(f.At), Node: -1, Kind: faults.PartitionStart, Nodes: cut})
+			if f.HealAt > 0 {
+				sched = append(sched, faults.Event{At: des.Time(f.HealAt), Node: -1, Kind: faults.PartitionEnd})
+			}
 		}
 	}
 	return sched

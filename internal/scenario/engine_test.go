@@ -36,8 +36,9 @@ func TestCorpusGreen(t *testing.T) {
 // failing verdicts that name the offending invariant — and only it.
 func TestBrokenFixturesFail(t *testing.T) {
 	wants := map[string]string{
-		"broken-envelope-violated":      "envelope:grants",
+		"broken-envelope-violated":       "envelope:grants",
 		"broken-standby-never-activates": "standbys",
+		"broken-minority-regenerates":    "envelope:regenerations",
 	}
 	scs, err := LoadDir(filepath.Join(corpusDir, "broken"))
 	if err != nil {
@@ -81,7 +82,7 @@ func checkNames(cs []Check) []string {
 // byte-identical verdict JSON and a byte-identical event trace — the
 // property that makes corpus verdicts diffable across CI runs.
 func TestVerdictDeterminism(t *testing.T) {
-	for _, name := range []string{"app-holder-crash.yaml", "lossy-composition-20.yaml"} {
+	for _, name := range []string{"app-holder-crash.yaml", "lossy-composition-20.yaml", "restart-rejoin.yaml", "partition-heal.yaml"} {
 		t.Run(name, func(t *testing.T) {
 			sc, err := LoadFile(filepath.Join(corpusDir, name))
 			if err != nil {

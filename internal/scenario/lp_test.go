@@ -56,6 +56,32 @@ func TestLPCorpusIdentity(t *testing.T) {
 	}
 }
 
+// TestLPFaultScenariosFallBack pins the eligibility rule for the fault
+// model: any scenario with a fault schedule — in particular the restart
+// and partition fixtures, whose recovery detectors and network cut are
+// global mutable state — must fall back to the classic serial path at
+// every LP setting.
+func TestLPFaultScenariosFallBack(t *testing.T) {
+	for _, name := range []string{
+		"restart-rejoin.yaml", "partition-heal.yaml", "partition-minority-freeze.yaml",
+		"staggered-multi-crash.yaml",
+	} {
+		sc, err := LoadFile(filepath.Join(corpusDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := buildGrid(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, lps := range []int{1, 4} {
+			if lpEligible(sc, Options{LPs: lps}, g) {
+				t.Errorf("%s: LP-eligible at lps=%d; fault-bearing scenarios must stay serial", name, lps)
+			}
+		}
+	}
+}
+
 // TestLPEligibleScenariosPass: every LP-eligible corpus scenario still
 // meets its declared expectations when run on the window scheduler —
 // the replay monitor, merged records and counters feed the checkers the

@@ -107,6 +107,45 @@ var metricRegistry = []metricDef{
 	{"dropped_dead", func(o *runOutcome) (float64, bool) {
 		return float64(o.counters.DroppedDead), true
 	}},
+	// Registry order is append-only: the entries below postdate the ones
+	// above and must stay after them.
+	{"dropped_partition", func(o *runOutcome) (float64, bool) {
+		return float64(o.counters.DroppedPartition), true
+	}},
+	{"restarts", func(o *runOutcome) (float64, bool) {
+		return float64(o.mon.Restarts()), true
+	}},
+	{"rejoins", func(o *runOutcome) (float64, bool) {
+		return float64(o.mon.Rejoins()), o.recovery
+	}},
+	{"mean_rejoin_ms", func(o *runOutcome) (float64, bool) {
+		s, ok := o.rejoinLatency()
+		return s.Mean, ok
+	}},
+	{"max_rejoin_ms", func(o *runOutcome) (float64, bool) {
+		s, ok := o.rejoinLatency()
+		return s.Max, ok
+	}},
+	{"minority_freezes", func(o *runOutcome) (float64, bool) {
+		if o.dep == nil {
+			return 0, false
+		}
+		var n int64
+		for _, m := range o.dep.Members {
+			n += m.Stats().MinorityFreezes
+		}
+		return float64(n), true
+	}},
+	{"regenerations", func(o *runOutcome) (float64, bool) {
+		if o.dep == nil {
+			return 0, false
+		}
+		var n int64
+		for _, m := range o.dep.Members {
+			n += m.Stats().Regenerations
+		}
+		return float64(n), true
+	}},
 }
 
 // perCS normalizes a counter by the number of critical sections entered.
@@ -186,9 +225,22 @@ func (o *runOutcome) recoveryLatency() (stats.Summary, bool) {
 	return acc.Summarize(), true
 }
 
+// rejoinLatency summarizes restart-to-readmission delays in ms.
+func (o *runOutcome) rejoinLatency() (stats.Summary, bool) {
+	lats := o.mon.RejoinLatencies()
+	if len(lats) == 0 {
+		return stats.Summary{}, false
+	}
+	acc := stats.Accumulator{}
+	for _, d := range lats {
+		acc.Push(float64(d) / float64(time.Millisecond))
+	}
+	return acc.Summarize(), true
+}
+
 // detectorKinds are the message kinds the recovery layer adds (mirrors
 // harness.detectorKinds).
-var detectorKinds = []string{"rec.hb", "rec.probe", "rec.ack", "rec.epoch"}
+var detectorKinds = []string{"rec.hb", "rec.probe", "rec.ack", "rec.epoch", "rec.join"}
 
 // detectorMsgs totals failure-detector traffic (KindCounts is enabled on
 // recovery runs).

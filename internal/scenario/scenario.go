@@ -111,6 +111,11 @@ const (
 	// Target "coordinator" the crash is redirected to the victim's
 	// cluster primary at that same instant (the primary is IN).
 	FaultHolderKill = "holder_kill"
+	// FaultPartition cuts the listed clusters off from the rest of the
+	// grid at a fixed instant; heal_at (when positive) heals the cut.
+	// Links crossing the cut drop at delivery time; nodes stay alive on
+	// both sides, so the minority freezes rather than crashes.
+	FaultPartition = "partition"
 )
 
 // Victim candidate sets for crash_window faults.
@@ -138,6 +143,10 @@ type Fault struct {
 	Victim int // application node index; -1 draws from the seed
 	Entry  int // 1-based CS-entry ordinal; 0 draws from the seed
 	Target string // "app" (default) or "coordinator"
+
+	// partition
+	Clusters []int         // the side cut off from the rest of the grid
+	HealAt   time.Duration // heal instant; 0 means the cut never heals
 }
 
 // RunSpec bounds the run.
@@ -361,6 +370,8 @@ func decodeFaults(n *node, out *[]Fault) error {
 			"victim":   func(n *node) error { return intval(n, &f.Victim) },
 			"entry":    func(n *node) error { return intval(n, &f.Entry) },
 			"target":   func(n *node) error { return str(n, &f.Target) },
+			"clusters": func(n *node) error { return intList(n, &f.Clusters) },
+			"heal_at":  func(n *node) error { return dur(n, &f.HealAt) },
 		}); err != nil {
 			return err
 		}

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"gridmutex/internal/algorithms"
@@ -295,10 +296,53 @@ func (sc *Scenario) validateFaults() error {
 						ctx, f.Victim, sc.ReservedNodes())
 				}
 			}
+		case FaultPartition:
+			if len(f.Clusters) == 0 {
+				return fmt.Errorf("%s: needs a non-empty clusters list", ctx)
+			}
+			clusters := sc.Clusters()
+			seen := make(map[int]bool, len(f.Clusters))
+			for _, c := range f.Clusters {
+				if c < 0 || c >= clusters {
+					return fmt.Errorf("%s: cluster %d outside the %d-cluster grid", ctx, c, clusters)
+				}
+				if seen[c] {
+					return fmt.Errorf("%s: cluster %d listed twice", ctx, c)
+				}
+				seen[c] = true
+			}
+			if len(f.Clusters) >= clusters {
+				return fmt.Errorf("%s: cutting off every cluster leaves nothing on the other side", ctx)
+			}
+			if f.At <= 0 {
+				return fmt.Errorf("%s: needs a positive at instant", ctx)
+			}
+			if f.HealAt != 0 && f.HealAt <= f.At {
+				return fmt.Errorf("%s: heal_at %v not after at %v", ctx, f.HealAt, f.At)
+			}
+			if !sc.System.Recovery {
+				return fmt.Errorf("%s: needs recovery: true (without detectors a cut just starves both sides)", ctx)
+			}
 		case "":
 			return fmt.Errorf("scenario: fault %d has no kind", i)
 		default:
 			return fmt.Errorf("scenario: fault %d has unknown kind %q", i, f.Kind)
+		}
+	}
+	// The fabric models a single active cut, so partition windows must not
+	// overlap: each cut has to heal before the next one starts.
+	var parts []Fault
+	for _, f := range sc.Faults {
+		if f.Kind == FaultPartition {
+			parts = append(parts, f)
+		}
+	}
+	sort.Slice(parts, func(i, j int) bool { return parts[i].At < parts[j].At })
+	for i := 1; i < len(parts); i++ {
+		prev := parts[i-1]
+		if prev.HealAt == 0 || prev.HealAt > parts[i].At {
+			return fmt.Errorf("scenario: partition at %v overlaps the cut starting at %v (one cut at a time)",
+				prev.At, parts[i].At)
 		}
 	}
 	return nil

@@ -110,6 +110,12 @@ type Network struct {
 	// len(down-set) > 0 so fault-free runs pay one branch per send.
 	down    []bool
 	anyDown bool
+
+	// Partition state: side is nil until the first Partition, and anyPart
+	// caches whether a cut is active so partition-free runs pay one branch
+	// per delivery. side[node] is 1 on the cut-off side, 0 on the rest.
+	side    []uint8
+	anyPart bool
 }
 
 // gridModel is the slice of topology.Grid the network needs; an interface
@@ -293,6 +299,7 @@ func (n *Network) Counters() Counters {
 		c.InterBytes += s.InterBytes
 		c.Dropped += s.Dropped
 		c.DroppedDead += s.DroppedDead
+		c.DroppedPartition += s.DroppedPartition
 	}
 	return c
 }
@@ -352,6 +359,52 @@ func (n *Network) ProcessDown(id mutex.ID) bool {
 		panic(fmt.Sprintf("simnet: ProcessDown for unregistered process %d", id))
 	}
 	return n.anyDown && n.down[n.nodeOf[id]]
+}
+
+// Partition cuts the network into two sides: the given node set and the
+// rest. A message whose sender-side node and receiver-side node fall on
+// opposite sides of the cut when the message would *arrive* is discarded
+// (counted in Counters.DroppedPartition) — the same delivery-time
+// classification as crashed destinations, so a message in flight across
+// the cut when Heal runs is delivered, and a message sent just before the
+// cut but arriving during it is lost. The send path is untouched: loss
+// and jitter rng draws are consumed and FIFO watermarks advance exactly
+// as on an unpartitioned network, so traces stay byte-identical per seed
+// up to the dropped deliveries themselves.
+//
+// Only one cut is active at a time; calling Partition again replaces the
+// previous cut. An empty node set panics — it would be a no-op cut and is
+// always a caller bug.
+func (n *Network) Partition(nodes []int) {
+	if len(nodes) == 0 {
+		panic("simnet: Partition with empty node set")
+	}
+	if n.side == nil {
+		n.side = make([]uint8, n.nodes)
+	}
+	for i := range n.side {
+		n.side[i] = 0
+	}
+	for _, node := range nodes {
+		n.checkNode(node)
+		n.side[node] = 1
+	}
+	n.anyPart = true
+}
+
+// Heal removes the active partition cut. Messages already in flight across
+// the former cut are delivered normally — link state is evaluated at
+// delivery time. Healing an unpartitioned network is a no-op.
+func (n *Network) Heal() {
+	n.anyPart = false
+}
+
+// Partitioned reports whether the two physical nodes are currently on
+// opposite sides of an active cut.
+func (n *Network) Partitioned(a, b int) bool {
+	n.checkNode(a)
+	n.checkNode(b)
+	return n.anyPart && n.side[a] != n.side[b]
 }
 
 func (n *Network) checkNode(node int) {
@@ -442,6 +495,10 @@ func (s *sink) Deliver(from mutex.ID, m mutex.Message) {
 		n.shards[s.lp].DroppedDead++
 		return
 	}
+	if n.anyPart && n.side[s.toNode] != n.side[n.nodeOf[from]] {
+		n.shards[s.lp].DroppedPartition++
+		return
+	}
 	if t := n.tracers[s.lp]; t != nil {
 		t.Record(trace.Deliver, from, s.to, m.Kind())
 	}
@@ -495,6 +552,11 @@ type Counters struct {
 	// counted here. Messages a *dead sender* tries to emit are suppressed
 	// before any accounting and appear in no counter.
 	DroppedDead int64
+	// DroppedPartition counts messages discarded because their link
+	// crossed an active partition cut when the message arrived. Like
+	// DroppedDead, classification is a delivery-time property: a message
+	// in flight across the cut when the partition heals is delivered.
+	DroppedPartition int64
 }
 
 func (c *Counters) note(m mutex.Message, sameCluster, kinds bool) {

@@ -151,6 +151,7 @@ type Runner struct {
 type appProc struct {
 	app       core.App
 	remaining int
+	lostCS    int  // critical sections forfeited by a crash, restored on Revive
 	waiting   bool // a request is outstanding and not yet granted
 	dead      bool // crashed: all scheduled activity becomes a no-op
 	reqAt     des.Time
@@ -276,8 +277,28 @@ func (r *Runner) Crash(id mutex.ID) {
 		return
 	}
 	p.dead = true
+	p.lostCS = p.remaining
 	p.remaining = 0
 	p.waiting = false
+}
+
+// Revive resumes a crashed process after its node restarted and its group
+// re-admitted it: the critical sections forfeited by the crash are restored
+// and a fresh request cycle starts after one idle period. The rejoined
+// member holds no claim (restart is amnesiac), so the process resumes from
+// a clean request. Unknown or never-crashed ids are ignored, mirroring
+// Crash.
+func (r *Runner) Revive(id mutex.ID) {
+	p, ok := r.procs[id]
+	if !ok || !p.dead {
+		return
+	}
+	p.dead = false
+	p.remaining = p.lostCS
+	p.lostCS = 0
+	if p.remaining > 0 {
+		r.sim.After(r.idle(p.app.Cluster), p.request)
+	}
 }
 
 func (r *Runner) request(p *appProc) {

@@ -21,6 +21,14 @@ go test -race -run 'TestExplore' ./internal/explore/ ./internal/algorithms/ ./in
 echo "==> bounded crash exploration (fail-stop safety under MaxCrashes)"
 go test -race -run 'TestCrash' ./internal/explore/
 
+echo "==> bounded crash->restart and partition exploration (safety-only resync-epoch model)"
+# Every ordering of one crash, one amnesiac restart (rejoin resync epoch:
+# global rebuild, epoch fence, claim never resurrected) and of one
+# single-node cut plus heal must preserve mutual exclusion; liveness is
+# out of scope because a dead or cut-off token legitimately stalls the
+# raw algorithms (recovering is internal/recovery's job).
+go test -race -run 'TestRestart|TestPartition|TestFaultExplore' ./internal/explore/
+
 echo "==> crash-recovery subsystem under -race"
 go test -race ./internal/recovery/ ./internal/faults/
 
