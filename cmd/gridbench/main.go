@@ -57,6 +57,11 @@ type benchRecord struct {
 	// Workers is the resolved -parallel value (GOMAXPROCS substituted for
 	// 0 or negative).
 	Workers int `json:"workers"`
+	// GoMaxProcs and NumCPU record the machine the record was produced
+	// on: speedup and events/sec are only comparable across records when
+	// the core budgets are (benchcmp scales its expectations by these).
+	GoMaxProcs int `json:"gomaxprocs"`
+	NumCPU     int `json:"numcpu"`
 	// LPs is the -lps value: worker goroutines of the window-barrier
 	// scheduler inside each eligible simulation (0 = classic serial
 	// event loop).
@@ -78,6 +83,11 @@ type benchRecord struct {
 	// ones byte for byte (always true when the record is written by a
 	// successful run; a mismatch aborts with exit 1).
 	Identical bool `json:"identical"`
+	// Memory holds the per-N machine measurements of the gridscale
+	// experiment (absent for other figures). These are machine-dependent
+	// by nature — benchcmp holds bytes_per_proc to a ceiling rather than
+	// equality.
+	Memory []gridmutex.MemSample `json:"memory,omitempty"`
 	// Figures holds the rendered figure text keyed by figure name.
 	Figures map[string]string `json:"figures"`
 }
@@ -185,12 +195,15 @@ func main() {
 			Experiment: *experiment,
 			Scale:      *scaleName,
 			Workers:    workers,
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
 			LPs:        *lps,
 			Cells:      info.Cells,
 			Runs:       info.Runs,
 			Events:     info.Events,
 			WallMS:     float64(wall) / float64(time.Millisecond),
 			Identical:  true,
+			Memory:     info.Memory,
 			Figures:    figs,
 		}
 		if wall > 0 {

@@ -52,10 +52,35 @@ type RunInfo struct {
 	Runs int
 	// Events is the total DES events processed across all runs.
 	Events int64
+	// Memory holds the per-N machine measurements of the gridscale
+	// experiment (nil for every other figure). These are deliberately
+	// kept out of figure text — figures must reproduce byte for byte on
+	// any machine — and surface only in benchmark records.
+	Memory []MemSample
+}
+
+// MemSample is one grid-scale memory measurement: how much heap one
+// simulated process costs at a given N, plus the run's peak footprint
+// and throughput. JSON tags match the gridbench/1 record layout.
+type MemSample struct {
+	// N is the topology node count of the sweep point; Procs the total
+	// simulated processes (applications plus all coordinators).
+	N     int `json:"n"`
+	Procs int `json:"procs"`
+	// BytesPerProc is settled live heap added by the build divided by
+	// Procs; LiveBytes the absolute settled live heap after the build;
+	// PeakBytes the heap space obtained from the OS by the end of the run.
+	BytesPerProc float64 `json:"bytes_per_proc"`
+	LiveBytes    uint64  `json:"live_bytes"`
+	PeakBytes    uint64  `json:"peak_bytes"`
+	// WallMS and EventsPerSec time the point's simulation pass alone.
+	WallMS       float64 `json:"wall_ms"`
+	EventsPerSec float64 `json:"events_per_sec"`
 }
 
 func (a RunInfo) add(b RunInfo) RunInfo {
-	return RunInfo{Cells: a.Cells + b.Cells, Runs: a.Runs + b.Runs, Events: a.Events + b.Events}
+	return RunInfo{Cells: a.Cells + b.Cells, Runs: a.Runs + b.Runs,
+		Events: a.Events + b.Events, Memory: append(a.Memory, b.Memory...)}
 }
 
 func infoOf(points []harness.Point, reps int) RunInfo {
@@ -153,6 +178,32 @@ var figureSpecs = map[string]figureSpec{
 				Runs:  len(res.Points) * scale.Repetitions,
 			}
 			return res.Table("Partition tolerance"), info, nil
+		}},
+	"gridscale": {describe: "grid-scale memory axis: k-level trees, N swept over decades, memory per process recorded",
+		run: func(scale harness.Scale, progress func(string)) (string, RunInfo, error) {
+			// Paper scale reaches the 10⁵-node acceptance point; quick
+			// stays at two decades. One repetition per point: the sweep
+			// measures scaling shape and machine footprint, not
+			// statistical aggregates.
+			ns := harness.GridScaleNs(scale.CSPerProcess >= 100)
+			res, err := harness.RunGridScale(ns, 1, scale.Alpha, scale.BaseSeed, progress)
+			if err != nil {
+				return "", RunInfo{}, err
+			}
+			info := RunInfo{Cells: len(res.Points), Runs: len(res.Points)}
+			for i := range res.Points {
+				p := &res.Points[i]
+				info.Events += p.Events
+				info.Memory = append(info.Memory, MemSample{
+					N: p.N, Procs: p.Mem.Procs,
+					BytesPerProc: p.Mem.BytesPerProc,
+					LiveBytes:    p.Mem.LiveBytes,
+					PeakBytes:    p.Mem.PeakBytes,
+					WallMS:       p.Mem.WallMS,
+					EventsPerSec: p.Mem.EventsPerSec,
+				})
+			}
+			return res.Table("Grid-scale sweep"), info, nil
 		}},
 	"adaptive": {describe: "section 6 extension: adaptive inter algorithm on a phased workload",
 		run: func(scale harness.Scale, progress func(string)) (string, RunInfo, error) {
@@ -281,7 +332,7 @@ func ReproduceAllWith(scale ExperimentScale, opt RunOptions, progress func(strin
 	out["fig6a"] = tableAndChart(intra, harness.ObtainingMean, "Figure 6(a)")
 	out["fig6b"] = tableAndChart(intra, harness.ObtainingStd, "Figure 6(b)")
 
-	for _, name := range []string{"scale", "adaptive", "bias", "locality", "recovery", "partition"} {
+	for _, name := range []string{"scale", "gridscale", "adaptive", "bias", "locality", "recovery", "partition"} {
 		tab, figInfo, err := figureSpecs[name].run(s, progress)
 		if err != nil {
 			return nil, info, fmt.Errorf("gridmutex: %s experiment: %w", name, err)

@@ -139,7 +139,7 @@ func TestAlgorithmsList(t *testing.T) {
 
 func TestFiguresAndDescriptions(t *testing.T) {
 	figs := Figures()
-	want := []string{"adaptive", "bias", "fig3", "fig4a", "fig4b", "fig5a", "fig5b", "fig6a", "fig6b", "locality", "partition", "recovery", "scale"}
+	want := []string{"adaptive", "bias", "fig3", "fig4a", "fig4b", "fig5a", "fig5b", "fig6a", "fig6b", "gridscale", "locality", "partition", "recovery", "scale"}
 	if len(figs) != len(want) {
 		t.Fatalf("Figures = %v", figs)
 	}

@@ -12,6 +12,16 @@
 //
 // Requests are appended to Q in member-index order, ignoring arrival times;
 // this is the fairness weakness the paper observes in section 4.6.
+//
+// The in-memory RN/LN vectors are sparse: entries materialize only for
+// members that have ever requested, so a node's state is O(requesters
+// heard from) instead of O(N) — at grid scale the dense vectors are the
+// token-state memory wall (N processes × N entries). The token on the
+// wire still carries the dense LN array the 1985 algorithm defines, with
+// identical contents and the same modeled O(N) Size; only the resident
+// representation is factored. Iteration over sparse entries always walks
+// a sorted index list, never the map, so outcomes stay independent of
+// Go's randomized map order.
 package suzukikasami
 
 import (
@@ -46,13 +56,67 @@ func (Token) Kind() string { return "suzuki.token" }
 // refers to.
 func (t Token) Size() int { return 16 + 8*len(t.LN) + 4*len(t.Q) }
 
+// seqVec is a sparse member-indexed sequence vector: the map materializes
+// an entry only for members whose value has ever been set, and the sorted
+// index slice provides deterministic member-index-order iteration — code
+// must range over active, never over the map, so no simulation outcome
+// depends on Go's randomized map order. Both RN and LN start as all-zero
+// vectors of which only ever-requesting members deviate, so a node's
+// footprint is O(requesters it has heard from), not O(N): the token-state
+// memory wall at grid scale (DESIGN.md §14).
+type seqVec struct {
+	seq    map[int32]int64
+	active []int32 // sorted member indexes with materialized entries
+}
+
+// get returns the value at member index i (zero when unmaterialized).
+func (v *seqVec) get(i int32) int64 { return v.seq[i] }
+
+// set stores the value at member index i, materializing the entry.
+func (v *seqVec) set(i int32, x int64) {
+	if v.seq == nil {
+		v.seq = make(map[int32]int64, 4)
+	}
+	if _, ok := v.seq[i]; !ok {
+		v.insert(i)
+	}
+	v.seq[i] = x
+}
+
+// insert adds i to the sorted active list (binary search + shift; the
+// list grows once per member that ever requests, never on steady state).
+func (v *seqVec) insert(i int32) {
+	lo, hi := 0, len(v.active)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v.active[mid] < i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	v.active = append(v.active, 0)
+	copy(v.active[lo+1:], v.active[lo:])
+	v.active[lo] = i
+}
+
+// materialized returns the number of sparse entries (tests assert the
+// bound: never more than the members that ever requested, plus self).
+func (v *seqVec) materialized() int { return len(v.active) }
+
+// reset drops all entries, returning the vector to all-zero.
+func (v *seqVec) reset() {
+	v.seq = nil
+	v.active = nil
+}
+
 type node struct {
 	cfg   mutex.Config
-	self  int // index of Self in Members
-	rn    []int64
+	self  int32 // index of Self in Members
+	rn    seqVec
 	state mutex.State
 	token bool
-	ln    []int64    // meaningful only while token is true
+	ln    seqVec     // meaningful only while token is true
 	queue []mutex.ID // meaningful only while token is true
 }
 
@@ -63,12 +127,10 @@ func New(cfg mutex.Config) (mutex.Instance, error) {
 	}
 	n := &node{
 		cfg:  cfg,
-		self: cfg.Index(cfg.Self),
-		rn:   make([]int64, len(cfg.Members)),
+		self: int32(cfg.Index(cfg.Self)),
 	}
 	if cfg.Self == cfg.Holder {
 		n.token = true
-		n.ln = make([]int64, len(cfg.Members))
 	}
 	return n, nil
 }
@@ -82,8 +144,9 @@ func (n *node) Request() {
 		n.enterCS()
 		return
 	}
-	n.rn[n.self]++
-	req := Request{Seq: n.rn[n.self]}
+	seq := n.rn.get(n.self) + 1
+	n.rn.set(n.self, seq)
+	req := Request{Seq: seq}
 	for _, m := range n.cfg.Members {
 		if m != n.cfg.Self {
 			n.cfg.Env.Send(m, req)
@@ -96,11 +159,30 @@ func (n *node) Release() {
 		panic(fmt.Sprintf("suzukikasami: Release in state %v", n.state))
 	}
 	n.state = mutex.NoReq
-	n.ln[n.self] = n.rn[n.self]
+	n.ln.set(n.self, n.rn.get(n.self))
 	// Append every node with an outstanding request that is not queued
 	// yet, scanning in member-index order (deliberately arrival-blind).
-	for i, m := range n.cfg.Members {
-		if n.rn[i] == n.ln[i]+1 && !n.queued(m) {
+	// Only members with a materialized RN or LN entry can satisfy
+	// rn == ln+1 — both are zero for everyone else — so merging the two
+	// sorted active lists visits exactly the candidates, in the same
+	// member order the dense scan used.
+	ra, la := n.rn.active, n.ln.active
+	i, j := 0, 0
+	for i < len(ra) || j < len(la) {
+		var mi int32
+		switch {
+		case j >= len(la) || (i < len(ra) && ra[i] < la[j]):
+			mi = ra[i]
+			i++
+		case i >= len(ra) || la[j] < ra[i]:
+			mi = la[j]
+			j++
+		default:
+			mi = ra[i]
+			i++
+			j++
+		}
+		if m := n.cfg.Members[mi]; n.rn.get(mi) == n.ln.get(mi)+1 && !n.queued(m) {
 			n.queue = append(n.queue, m)
 		}
 	}
@@ -121,12 +203,21 @@ func (n *node) queued(id mutex.ID) bool {
 }
 
 func (n *node) sendToken(to mutex.ID) {
+	// The wire token carries the dense LN array — the algorithm's
+	// intrinsic O(N) payload, which Size() models and the live codec
+	// encodes — materialized here from the sparse state. Its contents are
+	// identical to what a dense implementation would send: zeros for
+	// members that never requested.
+	ln := make([]int64, len(n.cfg.Members))
+	for _, i := range n.ln.active {
+		ln[i] = n.ln.get(i)
+	}
 	t := Token{
-		LN: append([]int64(nil), n.ln...),
+		LN: ln,
 		Q:  append([]mutex.ID(nil), n.queue...),
 	}
 	n.token = false
-	n.ln = nil
+	n.ln.reset()
 	n.queue = nil
 	n.cfg.Env.Send(to, t)
 }
@@ -143,22 +234,22 @@ func (n *node) Deliver(from mutex.ID, m mutex.Message) {
 }
 
 func (n *node) onRequest(from mutex.ID, seq int64) {
-	fi := n.cfg.Index(from)
+	fi := int32(n.cfg.Index(from))
 	if fi < 0 {
 		panic(fmt.Sprintf("suzukikasami: request from non-member %d", from))
 	}
-	if seq > n.rn[fi] {
-		n.rn[fi] = seq
+	if seq > n.rn.get(fi) {
+		n.rn.set(fi, seq)
 	}
 	if !n.token {
 		return
 	}
-	if n.state == mutex.NoReq && n.rn[fi] == n.ln[fi]+1 {
+	if n.state == mutex.NoReq && n.rn.get(fi) == n.ln.get(fi)+1 {
 		// Idle holder with a fresh outstanding request: grant now.
 		n.sendToken(from)
 		return
 	}
-	if n.state == mutex.InCS && n.rn[fi] == n.ln[fi]+1 {
+	if n.state == mutex.InCS && n.rn.get(fi) == n.ln.get(fi)+1 {
 		n.firePending()
 	}
 }
@@ -168,7 +259,12 @@ func (n *node) onToken(t Token) {
 		panic(fmt.Sprintf("suzukikasami: token received in state %v", n.state))
 	}
 	n.token = true
-	n.ln = append([]int64(nil), t.LN...)
+	n.ln.reset()
+	for i, x := range t.LN {
+		if x != 0 {
+			n.ln.set(int32(i), x)
+		}
+	}
 	n.queue = append([]mutex.ID(nil), t.Q...)
 	n.enterCS()
 }
@@ -193,8 +289,10 @@ func (n *node) HasPending() bool {
 	if len(n.queue) > 0 {
 		return true
 	}
-	for i := range n.cfg.Members {
-		if i != n.self && n.rn[i] > n.ln[i] {
+	// rn > ln needs rn > 0, so only members with a materialized RN entry
+	// can have an outstanding request.
+	for _, i := range n.rn.active {
+		if i != n.self && n.rn.get(i) > n.ln.get(i) {
 			return true
 		}
 	}

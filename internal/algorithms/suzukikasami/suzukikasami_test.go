@@ -68,6 +68,57 @@ func TestNMessagesPerCS(t *testing.T) {
 	_ = m
 }
 
+// TestSparseStateMaterialization pins the grid-scale memory bound: RN/LN
+// entries exist only for members that ever requested (plus the releasing
+// holder's own LN entry), never for the full membership — while the token
+// on the wire still carries the dense LN array with its modeled O(N) size.
+func TestSparseStateMaterialization(t *testing.T) {
+	w := algotest.NewWorld()
+	const members = 50
+	m := build(t, w, members, 0)
+	for _, requester := range []int{7, 23, 7} {
+		m[requester].Request()
+		if err := w.Drain(400); err != nil {
+			t.Fatal(err)
+		}
+		if m[requester].State() != mutex.InCS {
+			t.Fatalf("node %d did not enter CS", requester)
+		}
+		m[requester].Release()
+		if err := w.Drain(400); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var lastToken Token
+	found := false
+	for _, s := range w.Log() {
+		if tok, ok := s.Msg.(Token); ok {
+			lastToken, found = tok, true
+		}
+	}
+	if !found {
+		t.Fatal("no token transfer observed")
+	}
+	if len(lastToken.LN) != members {
+		t.Fatalf("wire token LN has %d entries, want the dense %d", len(lastToken.LN), members)
+	}
+	if got, want := lastToken.Size(), 16+8*members+4*len(lastToken.Q); got != want {
+		t.Fatalf("token Size() = %d, want %d", got, want)
+	}
+	// Requesters were {7, 23}; releases happened at 7 and 23, and the
+	// initial holder 0 granted without releasing. RN can materialize only
+	// for requesters; LN only for requesters and releasing holders.
+	for i := range m {
+		nd := m[i].(*node)
+		if got := nd.rn.materialized(); got > 2 {
+			t.Errorf("node %d materialized %d RN entries, want <= 2 of %d members", i, got, members)
+		}
+		if got := nd.ln.materialized(); got > 3 {
+			t.Errorf("node %d materialized %d LN entries, want <= 3 of %d members", i, got, members)
+		}
+	}
+}
+
 func TestHolderReentryIsFree(t *testing.T) {
 	w := algotest.NewWorld()
 	m := build(t, w, 4, 2)
@@ -352,7 +403,7 @@ func TestPropertyTokenStateInvariant(t *testing.T) {
 		for _, inst := range insts {
 			nd := inst.(*node)
 			for i := range members {
-				if nd.rn[i] != holder.ln[i] {
+				if nd.rn.get(int32(i)) != holder.ln.get(int32(i)) {
 					return false
 				}
 			}

@@ -38,8 +38,41 @@ type Deployment struct {
 	// Coordinators lists the per-cluster coordinators (empty for flat
 	// deployments), in cluster order.
 	Coordinators []*Coordinator
-	// Procs maps process IDs to their dispatchers.
-	Procs map[mutex.ID]*Process
+	// Procs holds the process dispatchers, indexed densely by process ID
+	// (builders assign IDs 0..N-1 to topology nodes and the next integers
+	// to intermediate coordinators). A slice instead of a map keeps the
+	// per-process bookkeeping at 8 bytes and one cache-friendly indexed
+	// load — at grid scale (10⁵+ processes) the map's buckets and per-entry
+	// overhead were a measurable slice of the deployment's footprint.
+	Procs []*Process
+	// arena backs the Process values contiguously: one slab allocation
+	// sized up front instead of N separate heap objects (structure-of-
+	// arrays bookkeeping, DESIGN.md §14). Pointers into the arena are
+	// stable because the slab never grows past its initial capacity;
+	// newProcess falls back to individual allocation if a builder
+	// under-estimated.
+	arena []Process
+}
+
+// reserve sizes the arena for n processes; must run before newProcess.
+func (d *Deployment) reserve(n int) { d.arena = make([]Process, 0, n) }
+
+// newProcess carves a process out of the arena (or heap-allocates one if
+// the arena is exhausted) and records it in the dense Procs table.
+func (d *Deployment) newProcess(id mutex.ID, raw mutex.Env) *Process {
+	var p *Process
+	if len(d.arena) < cap(d.arena) {
+		d.arena = d.arena[:len(d.arena)+1]
+		p = &d.arena[len(d.arena)-1]
+	} else {
+		p = new(Process)
+	}
+	p.init(id, raw)
+	for int(id) >= len(d.Procs) {
+		d.Procs = append(d.Procs, nil)
+	}
+	d.Procs[id] = p
+	return p
 }
 
 // CallbackFunc supplies the application-level callbacks for an app process;
@@ -72,10 +105,10 @@ func BuildFlat(net mutex.Fabric, grid *topology.Grid, alg string, appCB Callback
 	for i := range members {
 		members[i] = mutex.ID(i)
 	}
-	d := &Deployment{Procs: make(map[mutex.ID]*Process)}
+	d := &Deployment{}
+	d.reserve(len(members))
 	for _, id := range members {
-		proc := NewProcess(id, net.Endpoint(id))
-		d.Procs[id] = proc
+		proc := d.newProcess(id, net.Endpoint(id))
 		net.RegisterAt(id, int(id), proc)
 		var cbs mutex.Callbacks
 		if appCB != nil {

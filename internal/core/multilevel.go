@@ -57,7 +57,16 @@ func BuildMultiLevelWith(net mutex.Fabric, grid *topology.Grid, factories []mute
 		}
 	}
 
-	d := &Deployment{Procs: make(map[mutex.ID]*Process)}
+	// The process count is known up front — every topology node plus one
+	// fresh coordinator per intermediate group — so the Deployment can
+	// carve all Process values out of a single arena slab.
+	total := grid.NumNodes()
+	for n, i := grid.NumClusters(), 0; i < len(groupSizes); i++ {
+		n = (n + groupSizes[i] - 1) / groupSizes[i]
+		total += n
+	}
+	d := &Deployment{}
+	d.reserve(total)
 	nextID := mutex.ID(grid.NumNodes()) // fresh IDs for intermediate coordinators
 
 	// bridge describes one unit's coordinator: the process that holds
@@ -84,8 +93,7 @@ func BuildMultiLevelWith(net mutex.Fabric, grid *topology.Grid, factories []mute
 		coordID := members[0]
 		br := &bridge{coord: NewCoordinator(coordID), node: nodes[0]}
 		for _, id := range members {
-			proc := NewProcess(id, net.Endpoint(id))
-			d.Procs[id] = proc
+			proc := d.newProcess(id, net.Endpoint(id))
 			net.RegisterAt(id, int(id), proc)
 			var cbs mutex.Callbacks
 			if id == coordID {
@@ -125,8 +133,7 @@ func BuildMultiLevelWith(net mutex.Fabric, grid *topology.Grid, factories []mute
 
 			parentID := nextID
 			nextID++
-			proc := NewProcess(parentID, net.Endpoint(parentID))
-			d.Procs[parentID] = proc
+			proc := d.newProcess(parentID, net.Endpoint(parentID))
 			net.RegisterAt(parentID, children[0].node, proc)
 			parent := &bridge{coord: NewCoordinator(parentID), proc: proc, node: children[0].node}
 

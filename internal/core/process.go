@@ -87,10 +87,17 @@ type Process struct {
 
 // NewProcess creates a process with the given raw network endpoint.
 func NewProcess(id mutex.ID, raw mutex.Env) *Process {
-	_, once := raw.(deliversOnce)
-	p := &Process{id: id, raw: raw, pooled: once}
-	p.inst.Store(new([]mutex.Instance))
+	p := new(Process)
+	p.init(id, raw)
 	return p
+}
+
+// init readies a zero Process in place; Deployment carves processes out of
+// a contiguous arena instead of heap-allocating each one.
+func (p *Process) init(id mutex.ID, raw mutex.Env) {
+	_, once := raw.(deliversOnce)
+	p.id, p.raw, p.pooled = id, raw, once
+	p.inst.Store(new([]mutex.Instance))
 }
 
 // ID returns the process identifier.

@@ -141,6 +141,8 @@ func Run(sc *Scenario, opts Options) (*Result, error) {
 		apps    []core.App
 	)
 	switch {
+	case len(sc.System.Levels) > 0:
+		coreDep, err = core.BuildMultiLevel(fabric, g, sc.System.Levels, sc.System.Groups, appCB, coordOpts...)
 	case sc.System.Flat != "":
 		coreDep, err = core.BuildFlat(fabric, g, sc.System.Flat, appCB)
 	case sc.System.Recovery:
@@ -280,6 +282,8 @@ func buildGrid(sc *Scenario) (*topology.Grid, error) {
 		return topology.Grid5000(per), nil
 	case TopoMatrix:
 		return t.Matrix.Grid(per)
+	case TopoTree:
+		return topology.NewTree(sc.treeSpec())
 	default:
 		return topology.Uniform(t.Clusters, per, t.LocalRTT, t.RemoteRTT), nil
 	}

@@ -39,6 +39,7 @@ func TestBrokenFixturesFail(t *testing.T) {
 		"broken-envelope-violated":       "envelope:grants",
 		"broken-standby-never-activates": "standbys",
 		"broken-minority-regenerates":    "envelope:regenerations",
+		"broken-three-tier-no-inter":     "envelope:inter_msgs_per_cs",
 	}
 	scs, err := LoadDir(filepath.Join(corpusDir, "broken"))
 	if err != nil {
@@ -82,7 +83,7 @@ func checkNames(cs []Check) []string {
 // byte-identical verdict JSON and a byte-identical event trace — the
 // property that makes corpus verdicts diffable across CI runs.
 func TestVerdictDeterminism(t *testing.T) {
-	for _, name := range []string{"app-holder-crash.yaml", "lossy-composition-20.yaml", "restart-rejoin.yaml", "partition-heal.yaml"} {
+	for _, name := range []string{"app-holder-crash.yaml", "lossy-composition-20.yaml", "restart-rejoin.yaml", "partition-heal.yaml", "three-tier.yaml"} {
 		t.Run(name, func(t *testing.T) {
 			sc, err := LoadFile(filepath.Join(corpusDir, name))
 			if err != nil {

@@ -29,25 +29,25 @@ expect:
 `)
 	f.Add(minimal)
 	// Structural malformations the parser must reject, not crash on.
-	f.Add("name: a\nname: b\n")                       // duplicate key
-	f.Add("name: t\n\tbad: tab\n")                    // tab indentation
-	f.Add("topology:\n   kind: uniform\n")            // odd indent
-	f.Add("faults:\n  -\n")                           // bare dash
-	f.Add("- just\n- a\n- list\n")                    // non-mapping root
-	f.Add("name: t\ntopology:\n")                     // key with no block
-	f.Add("a:\n  b:\n    c:\n      d: deep\n")        // deep nesting
+	f.Add("name: a\nname: b\n")                // duplicate key
+	f.Add("name: t\n\tbad: tab\n")             // tab indentation
+	f.Add("topology:\n   kind: uniform\n")     // odd indent
+	f.Add("faults:\n  -\n")                    // bare dash
+	f.Add("- just\n- a\n- list\n")             // non-mapping root
+	f.Add("name: t\ntopology:\n")              // key with no block
+	f.Add("a:\n  b:\n    c:\n      d: deep\n") // deep nesting
 	// Semantic malformations the decoder/validator must reject.
-	f.Add("name: t\nworkload:\n  rho: NaN\n")         // NaN rate
-	f.Add("name: t\nworkload:\n  rho: -Inf\n")        // infinite rate
-	f.Add("name: t\nworkload:\n  alpha: -5ms\n")      // negative duration
-	f.Add("name: t\nrun:\n  horizon: 99999999h\n")    // overflowing duration
+	f.Add("name: t\nworkload:\n  rho: NaN\n")      // NaN rate
+	f.Add("name: t\nworkload:\n  rho: -Inf\n")     // infinite rate
+	f.Add("name: t\nworkload:\n  alpha: -5ms\n")   // negative duration
+	f.Add("name: t\nrun:\n  horizon: 99999999h\n") // overflowing duration
 	f.Add("name: t\nexpect:\n  envelopes:\n    - metric: no_such_invariant\n      max: 1\n")
 	f.Add("name: t\nsystem:\n  intra: bogus-algo\n  inter: naimi\n")
-	f.Add("name: t\nseed: 99999999999999999999\n")    // integer overflow
+	f.Add("name: t\nseed: 99999999999999999999\n")                                                   // integer overflow
 	f.Add("name: t\nworkload:\n  alpha: 1h\n  rho: 1e18\nsystem:\n  intra: naimi\n  inter: naimi\n") // beta overflow
 	f.Add("name: t\nworkload:\n  rho: 1e300\nsystem:\n  intra: naimi\n  inter: naimi\n")
 	f.Add("name: t\nworkload:\n  alpha: 9h\n  phases:\n    - rho: 1e17\n      until: 1s\nsystem:\n  intra: naimi\n  inter: naimi\n  adaptive: true\n")
-	f.Add("name: \x00\x01\x02\n")                     // control bytes
+	f.Add("name: \x00\x01\x02\n") // control bytes
 
 	f.Fuzz(func(t *testing.T, doc string) {
 		sc, err := Load([]byte(doc))

@@ -18,9 +18,12 @@ import (
 // recovery detectors, the adaptive switching policy, the reliable layer
 // and its loss model, fault injection — stay on the classic
 // single-simulator path. A multi-cluster topology with a zero
-// inter-cluster latency admits no lookahead and also falls back.
+// inter-cluster latency admits no lookahead and also falls back, as does
+// a k-level hierarchy: its intermediate coordinators carry IDs above the
+// topology's node range, which the per-cluster sharding cannot place.
 func lpEligible(sc *Scenario, opts Options, g *topology.Grid) bool {
 	if opts.LPs < 1 || sc.System.Recovery || sc.System.Adaptive ||
+		len(sc.System.Levels) > 0 ||
 		sc.Network.Reliable || sc.Network.Loss > 0 || len(sc.Faults) > 0 {
 		return false
 	}

@@ -227,8 +227,8 @@ func parseMap(lines []srcLine, i, indent int) (*node, int, error) {
 // `key: value` opens a mapping item whose further keys sit two columns
 // deeper than the dash, aligned with the first key:
 //
-//	- kind: crash
-//	  node: 0
+//   - kind: crash
+//     node: 0
 func parseList(lines []srcLine, i, indent int) (*node, int, error) {
 	n := &node{kind: listNode, line: lines[i].line}
 	for i < len(lines) {

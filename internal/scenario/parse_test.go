@@ -138,6 +138,47 @@ system:
 	}
 }
 
+func TestLoadTreeLevels(t *testing.T) {
+	doc := `name: deep
+topology:
+  kind: tree
+  fanouts:
+    - 2
+    - 3
+  level_rtt:
+    - 40ms
+    - 10ms
+  apps_per_cluster: 2
+system:
+  levels:
+    - naimi
+    - suzuki
+    - naimi
+  groups:
+    - 3
+`
+	sc, err := Load([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.Clusters(); got != 6 {
+		t.Fatalf("fan-out product clusters = %d, want 6", got)
+	}
+	if sc.ReservedNodes() != 1 {
+		t.Errorf("a hierarchy reserves one coordinator per cluster, got %d", sc.ReservedNodes())
+	}
+	spec := sc.treeSpec()
+	if spec.LeafSize != 3 {
+		t.Errorf("leaf size = %d, want apps + coordinator = 3", spec.LeafSize)
+	}
+	if spec.LeafRTT != time.Millisecond {
+		t.Errorf("leaf RTT default = %v, want 1ms", spec.LeafRTT)
+	}
+	if len(sc.System.Levels) != 3 || sc.System.Levels[1] != "suzuki" {
+		t.Errorf("levels not decoded: %v", sc.System.Levels)
+	}
+}
+
 // TestLoadRejects drives every loader layer's rejection path: parser
 // (structure), decoder (types, unknown keys), validation (cross-field
 // rules). Each rejected document names its problem.
@@ -188,6 +229,19 @@ func TestLoadRejects(t *testing.T) {
 		{"switches no adaptive", "name: t\nsystem:\n  intra: naimi\n  inter: naimi\nexpect:\n  min_switches: 1\n", "needs adaptive"},
 		{"standby no recovery", "name: t\nsystem:\n  intra: naimi\n  inter: naimi\nexpect:\n  standby_activated:\n    - 0\n", "need recovery"},
 		{"cluster out of range", "name: t\nsystem:\n  intra: naimi\n  inter: naimi\nexpect:\n  cluster_complete:\n    - 7\n", "outside the 3-cluster"},
+		{"levels plus intra", "name: t\nsystem:\n  intra: naimi\n  levels:\n    - naimi\n    - naimi\n", "levels excludes"},
+		{"levels adaptive", "name: t\nsystem:\n  adaptive: true\n  levels:\n    - naimi\n    - naimi\n", "levels excludes adaptive"},
+		{"one level", "name: t\nsystem:\n  levels:\n    - naimi\n", "at least 2 levels"},
+		{"levels groups mismatch", "name: t\nsystem:\n  levels:\n    - naimi\n    - naimi\n  groups:\n    - 2\n", "group sizes"},
+		{"groups no levels", "name: t\nsystem:\n  intra: naimi\n  inter: naimi\n  groups:\n    - 2\n", "groups need a levels list"},
+		{"unknown level algorithm", "name: t\nsystem:\n  levels:\n    - naimi\n    - nope\n", "nope"},
+		{"group of one", "name: t\nsystem:\n  levels:\n    - naimi\n    - naimi\n    - naimi\n  groups:\n    - 1\n", "one-child group"},
+		{"tree no fanouts", "name: t\ntopology:\n  kind: tree\nsystem:\n  intra: naimi\n  inter: naimi\n", "requires a fanouts list"},
+		{"fanouts no tree", "name: t\ntopology:\n  fanouts:\n    - 2\nsystem:\n  intra: naimi\n  inter: naimi\n", "require kind: tree"},
+		{"tree missing level rtt", "name: t\ntopology:\n  kind: tree\n  fanouts:\n    - 2\n    - 2\n  level_rtt:\n    - 20ms\nsystem:\n  intra: naimi\n  inter: naimi\n", "level RTTs"},
+		{"tree fanout one", "name: t\ntopology:\n  kind: tree\n  fanouts:\n    - 1\n  level_rtt:\n    - 20ms\nsystem:\n  intra: naimi\n  inter: naimi\n", "fan-out 1"},
+		{"tree clusters contradiction", "name: t\ntopology:\n  kind: tree\n  clusters: 5\n  fanouts:\n    - 2\n    - 2\n  level_rtt:\n    - 20ms\n    - 5ms\nsystem:\n  intra: naimi\n  inter: naimi\n", "contradicts the fan-out product"},
+		{"tree inline matrix", "name: t\ntopology:\n  kind: tree\n  fanouts:\n    - 2\n  level_rtt:\n    - 20ms\n  matrix:\n    - from a b\n    - a 0.5 9.0\n    - b 9.0 0.5\nsystem:\n  intra: naimi\n  inter: naimi\n", "requires kind: matrix"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

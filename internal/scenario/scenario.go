@@ -36,18 +36,26 @@ type Scenario struct {
 // processes; the engine adds the infrastructure nodes the system under
 // test reserves per cluster (coordinator, standby).
 type Topology struct {
-	// Kind is "uniform", "grid5000" or "matrix".
+	// Kind is "uniform", "grid5000", "matrix" or "tree".
 	Kind string
-	// Clusters is the cluster count (uniform only; grid5000 has 9 and a
-	// matrix brings its own).
+	// Clusters is the cluster count (uniform only; grid5000 has 9, a
+	// matrix brings its own and a tree's is its fan-out product).
 	Clusters int
 	// AppsPerCluster is the number of application processes per cluster.
 	AppsPerCluster int
-	// LocalRTT / RemoteRTT shape the uniform grid.
+	// LocalRTT / RemoteRTT shape the uniform grid. For a tree, LocalRTT
+	// is the intra-cluster (leaf) round trip.
 	LocalRTT, RemoteRTT time.Duration
 	// Matrix is the inline cluster RTT matrix ("matrix" kind), in the
 	// textual format of topology.ParseMatrixSpec.
 	Matrix *topology.Matrix
+	// Fanouts and LevelRTT declare a synthetic switching tree ("tree"
+	// kind): Fanouts[0] regions under the root, each split into
+	// Fanouts[1] zones, and so on; LevelRTT[i] is the round trip between
+	// nodes whose lowest common switch sits at depth i. One RTT per
+	// fan-out level (topology.TreeSpec).
+	Fanouts  []int
+	LevelRTT []time.Duration
 }
 
 // Workload declares the application behaviour (workload.Params minus the
@@ -68,6 +76,17 @@ type System struct {
 	Intra, Inter string
 	// Flat names an original (non-hierarchical) algorithm instead.
 	Flat string
+	// Levels names the algorithms of a generalized k-level hierarchy,
+	// deepest first: Levels[0] runs inside every cluster, Levels[1] among
+	// cluster coordinators grouped Groups[0] to a region, and so on; the
+	// last algorithm spans the top-level coordinators. Mutually exclusive
+	// with Intra/Inter/Flat; len(Levels) must be len(Groups)+2
+	// (core.BuildMultiLevel).
+	Levels []string
+	// Groups lists the consecutive-unit group sizes of the intermediate
+	// hierarchy levels (tree-aligned when the topology is a tree: the
+	// fan-outs deepest first, excluding the root).
+	Groups []int
 	// Adaptive wraps the inter level in the runtime-switching protocol;
 	// Inter is then only the initial algorithm.
 	Adaptive bool
@@ -140,8 +159,8 @@ type Fault struct {
 	MinDown, MaxDown time.Duration
 
 	// holder_kill
-	Victim int // application node index; -1 draws from the seed
-	Entry  int // 1-based CS-entry ordinal; 0 draws from the seed
+	Victim int    // application node index; -1 draws from the seed
+	Entry  int    // 1-based CS-entry ordinal; 0 draws from the seed
 	Target string // "app" (default) or "coordinator"
 
 	// partition
@@ -250,9 +269,9 @@ func Load(data []byte) (*Scenario, error) {
 func decode(root *node) (*Scenario, error) {
 	sc := &Scenario{Expect: defaultExpect()}
 	if err := eachKey(root, "document", map[string]func(*node) error{
-		"name": func(n *node) error { return str(n, &sc.Name) },
-		"doc":  func(n *node) error { return str(n, &sc.Doc) },
-		"seed": func(n *node) error { return i64(n, &sc.Seed) },
+		"name":     func(n *node) error { return str(n, &sc.Name) },
+		"doc":      func(n *node) error { return str(n, &sc.Doc) },
+		"seed":     func(n *node) error { return i64(n, &sc.Seed) },
 		"topology": func(n *node) error { return decodeTopology(n, &sc.Topology) },
 		"workload": func(n *node) error { return decodeWorkload(n, &sc.Workload) },
 		"system":   func(n *node) error { return decodeSystem(n, &sc.System) },
@@ -273,6 +292,8 @@ func decodeTopology(n *node, t *Topology) error {
 		"apps_per_cluster": func(n *node) error { return intval(n, &t.AppsPerCluster) },
 		"local_rtt":        func(n *node) error { return dur(n, &t.LocalRTT) },
 		"remote_rtt":       func(n *node) error { return dur(n, &t.RemoteRTT) },
+		"fanouts":          func(n *node) error { return intList(n, &t.Fanouts) },
+		"level_rtt":        func(n *node) error { return durList(n, &t.LevelRTT) },
 		"matrix": func(n *node) error {
 			rows, err := strList(n)
 			if err != nil {
@@ -335,9 +356,18 @@ func decodeWorkload(n *node, w *Workload) error {
 
 func decodeSystem(n *node, s *System) error {
 	return eachKey(n, "system", map[string]func(*node) error{
-		"intra":      func(n *node) error { return str(n, &s.Intra) },
-		"inter":      func(n *node) error { return str(n, &s.Inter) },
-		"flat":       func(n *node) error { return str(n, &s.Flat) },
+		"intra": func(n *node) error { return str(n, &s.Intra) },
+		"inter": func(n *node) error { return str(n, &s.Inter) },
+		"flat":  func(n *node) error { return str(n, &s.Flat) },
+		"levels": func(n *node) error {
+			rows, err := strList(n)
+			if err != nil {
+				return err
+			}
+			s.Levels = rows
+			return nil
+		},
+		"groups":     func(n *node) error { return intList(n, &s.Groups) },
 		"adaptive":   func(n *node) error { return boolean(n, &s.Adaptive) },
 		"local_bias": func(n *node) error { return intval(n, &s.LocalBias) },
 		"recovery":   func(n *node) error { return boolean(n, &s.Recovery) },
@@ -615,6 +645,17 @@ func intList(n *node, out *[]int) error {
 			return err
 		}
 		*out = append(*out, v)
+		return nil
+	})
+}
+
+func durList(n *node, out *[]time.Duration) error {
+	return eachItem(n, "list", func(item *node) error {
+		var d time.Duration
+		if err := dur(item, &d); err != nil {
+			return err
+		}
+		*out = append(*out, d)
 		return nil
 	})
 }

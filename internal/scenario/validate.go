@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"gridmutex/internal/algorithms"
+	"gridmutex/internal/topology"
 	"gridmutex/internal/workload"
 )
 
@@ -14,6 +15,7 @@ const (
 	TopoUniform  = "uniform"
 	TopoGrid5000 = "grid5000"
 	TopoMatrix   = "matrix"
+	TopoTree     = "tree"
 )
 
 // Clusters returns the scenario's cluster count.
@@ -26,8 +28,27 @@ func (sc *Scenario) Clusters() int {
 			return len(sc.Topology.Matrix.Names)
 		}
 		return 0
+	case TopoTree:
+		c, err := sc.treeSpec().Clusters()
+		if err != nil {
+			return 0
+		}
+		return c
 	default:
 		return sc.Topology.Clusters
+	}
+}
+
+// treeSpec assembles the topology.TreeSpec of a tree scenario: fan-outs
+// and level RTTs from the file, leaf size from the application count plus
+// the reserved infrastructure nodes (same accounting as every other
+// kind), leaf RTT from local_rtt.
+func (sc *Scenario) treeSpec() topology.TreeSpec {
+	return topology.TreeSpec{
+		Fanouts:  sc.Topology.Fanouts,
+		LeafSize: sc.NodesPerCluster(),
+		LeafRTT:  sc.Topology.LocalRTT,
+		LevelRTT: sc.Topology.LevelRTT,
 	}
 }
 
@@ -132,8 +153,21 @@ func (sc *Scenario) validateTopology() error {
 				t.Clusters, len(t.Matrix.Names))
 		}
 		t.Clusters = len(t.Matrix.Names)
+	case TopoTree:
+		if len(t.Fanouts) == 0 {
+			return fmt.Errorf("scenario: kind: tree requires a fanouts list")
+		}
+		if t.Matrix != nil {
+			return fmt.Errorf("scenario: inline matrix requires kind: matrix")
+		}
+		if t.LocalRTT == 0 {
+			t.LocalRTT = time.Millisecond
+		}
 	default:
-		return fmt.Errorf("scenario: unknown topology kind %q (uniform/grid5000/matrix)", t.Kind)
+		return fmt.Errorf("scenario: unknown topology kind %q (uniform/grid5000/matrix/tree)", t.Kind)
+	}
+	if t.Kind != TopoTree && (len(t.Fanouts) > 0 || len(t.LevelRTT) > 0) {
+		return fmt.Errorf("scenario: fanouts/level_rtt require kind: tree")
 	}
 	if t.AppsPerCluster == 0 {
 		t.AppsPerCluster = 3
@@ -141,12 +175,50 @@ func (sc *Scenario) validateTopology() error {
 	if t.AppsPerCluster < 1 {
 		return fmt.Errorf("scenario: apps_per_cluster must be at least 1")
 	}
+	if t.Kind == TopoTree {
+		// The leaf size folds in the reserved infrastructure nodes, so the
+		// full spec is only checkable after the apps_per_cluster default.
+		if err := sc.treeSpec().Validate(); err != nil {
+			return fmt.Errorf("scenario: %v", err)
+		}
+		if c, _ := sc.treeSpec().Clusters(); t.Clusters != 0 && t.Clusters != c {
+			return fmt.Errorf("scenario: clusters %d contradicts the fan-out product %d", t.Clusters, c)
+		}
+	}
 	return nil
 }
 
 func (sc *Scenario) validateSystem() error {
 	s := &sc.System
-	if s.Flat != "" {
+	if len(s.Groups) > 0 && len(s.Levels) == 0 {
+		return fmt.Errorf("scenario: groups need a levels list")
+	}
+	switch {
+	case len(s.Levels) > 0:
+		if s.Flat != "" || s.Intra != "" || s.Inter != "" {
+			return fmt.Errorf("scenario: levels excludes intra/inter/flat")
+		}
+		if s.Adaptive || s.Recovery {
+			return fmt.Errorf("scenario: levels excludes adaptive and recovery")
+		}
+		if len(s.Levels) < 2 {
+			return fmt.Errorf("scenario: a hierarchy needs at least 2 levels, got %d", len(s.Levels))
+		}
+		if len(s.Levels) != len(s.Groups)+2 {
+			return fmt.Errorf("scenario: %d levels need %d group sizes, got %d",
+				len(s.Levels), len(s.Levels)-2, len(s.Groups))
+		}
+		for i, name := range s.Levels {
+			if _, err := algorithms.Factory(name); err != nil {
+				return fmt.Errorf("scenario: level %d: %v", i, err)
+			}
+		}
+		for i, g := range s.Groups {
+			if g < 2 {
+				return fmt.Errorf("scenario: group size %d at level %d (a one-child group adds nothing)", g, i+1)
+			}
+		}
+	case s.Flat != "":
 		if s.Intra != "" || s.Inter != "" {
 			return fmt.Errorf("scenario: flat excludes intra/inter")
 		}
@@ -159,9 +231,9 @@ func (sc *Scenario) validateSystem() error {
 		if _, err := algorithms.Factory(s.Flat); err != nil {
 			return fmt.Errorf("scenario: %v", err)
 		}
-	} else {
+	default:
 		if s.Intra == "" || s.Inter == "" {
-			return fmt.Errorf("scenario: system needs intra and inter (or flat)")
+			return fmt.Errorf("scenario: system needs intra and inter (or flat, or levels)")
 		}
 		if _, err := algorithms.Factory(s.Intra); err != nil {
 			return fmt.Errorf("scenario: intra: %v", err)

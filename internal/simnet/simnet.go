@@ -10,11 +10,15 @@
 // process handler.
 //
 // The send→deliver path is the innermost loop of every experiment, so the
-// package keeps it allocation-free and map-free: routing state lives in
-// dense slices indexed by process ID, per-pair latencies and cluster
-// co-membership are precomputed into flat node×node tables, and deliveries
-// are scheduled as typed des events rather than per-message closures (see
-// DESIGN.md §10).
+// package keeps it allocation-free and map-free on small grids: routing
+// state lives in dense slices indexed by process ID, per-pair latencies and
+// cluster co-membership are precomputed into flat node×node tables, and
+// deliveries are scheduled as typed des events rather than per-message
+// closures (see DESIGN.md §10). Above Options.Tables' auto threshold the
+// node×node tables switch to a byte-identical cluster-factored
+// representation — O(C²) latency matrix, O(N) membership index, sparse
+// FIFO watermarks — so grid-scale topologies (10⁵+ nodes) fit in memory
+// (DESIGN.md §14).
 package simnet
 
 import (
@@ -59,6 +63,12 @@ type Options struct {
 	// the default hot path touches no maps at all. Unsupported on LP
 	// networks (NewLP), whose counter shards merge numerically.
 	KindCounts bool
+	// Tables selects the routing-table representation; the default
+	// TablesAuto picks dense node×node tables for small grids and the
+	// factored O(C²+N) representation above DenseNodeLimit nodes. Both
+	// produce byte-identical simulations (see DESIGN.md §14); the switch
+	// trades per-send indexed loads against quadratic memory.
+	Tables TableMode
 	// Traces, for NewLP networks only, records per logical process: entry
 	// i receives the sends and deliveries executed by LP i. Per-LP tracers
 	// keep tracing race-free and deterministic under parallel window
@@ -86,18 +96,42 @@ type Network struct {
 	handlers []Handler // nil entry = unregistered
 	nodeOf   []int32   // logical process -> physical node; -1 = unregistered
 	sinks    []*sink   // per-process delivery interposers (typed des events)
-	// lastAt is the flat FIFO watermark, lastAt[from*len(handlers)+to]:
-	// the latest delivery instant scheduled on the ordered link, or -1
-	// when the link has carried nothing yet. Each entry is written only
-	// while executing the sender's LP, so the table needs no locking.
+	// lastAt is the flat FIFO watermark of dense-table networks,
+	// lastAt[from*len(handlers)+to]: the latest delivery instant scheduled
+	// on the ordered link, or -1 when the link has carried nothing yet.
+	// Each entry is written only while executing the sender's LP, so the
+	// table needs no locking. Factored networks replace the procs² table
+	// with lastTo — one map per sender, materializing entries only for
+	// links that have actually carried a message. The per-sender split
+	// preserves the locking-free contract: a sender's map is touched only
+	// on its own LP.
 	lastAt []des.Time
+	lastTo []map[mutex.ID]des.Time
 
-	// Flat node×node tables precomputed from the gridModel once, so the
-	// per-message latency and intra/inter classification are single
-	// indexed loads instead of interface calls into nested slices.
+	// Routing tables precomputed from the gridModel once, so the
+	// per-message latency and intra/inter classification are indexed
+	// loads instead of interface calls into nested slices. Dense networks
+	// fill the flat node×node tables oneWay/sameCl; factored networks
+	// (factored == true) fill the O(N) node→cluster index clOf and the
+	// O(C²) cluster pair matrix clOneWay instead, and classify
+	// same-cluster by index equality. Both paths compute identical delays
+	// — RTT(cluster(from), cluster(to))/2 — so the representations are
+	// observably interchangeable.
 	nodes    int
 	oneWay   []des.Time
 	sameCl   []bool
+	factored bool
+	clOf     []int32
+	clOneWay []des.Time
+	clC      int
+	// clModel, when non-nil, replaces the clOneWay matrix: the factored
+	// network computes RTT(ca,cb)/2 per send straight from the cluster
+	// model. It is set when even the O(C²) matrix would dominate memory
+	// (clusterPairLimit); topology models answer RTT in O(1) (explicit
+	// matrices) or O(levels) (trees), so the per-send cost stays flat.
+	// The arithmetic is the same division either way, so all three
+	// representations schedule identical instants.
+	clModel  clusterModel
 	lpOfNode []int32 // physical node -> LP index; all zero when classic
 	jittery  bool    // opts.Jitter > 0
 	lossy    bool    // opts.Loss > 0
@@ -125,6 +159,48 @@ type gridModel interface {
 	OneWay(from, to int) time.Duration
 	SameCluster(a, b int) bool
 }
+
+// clusterModel is the richer slice a grid must expose for the factored
+// tables: cluster membership and cluster-pair round trips, from which the
+// network derives every per-node quantity. topology.Grid implements it.
+type clusterModel interface {
+	NumClusters() int
+	ClusterOf(n int) int
+	RTT(a, b int) time.Duration
+}
+
+// TableMode selects the routing-table representation.
+type TableMode uint8
+
+const (
+	// TablesAuto (the default) uses dense tables up to DenseNodeLimit
+	// nodes and the factored representation beyond — provided the grid
+	// implements the cluster interfaces; synthetic latency models that
+	// don't stay dense at any size.
+	TablesAuto TableMode = iota
+	// TablesDense forces the node×node tables (O(N²) memory).
+	TablesDense
+	// TablesFactored forces the cluster-factored tables (O(C²+N) memory).
+	// Panics if the grid does not expose cluster structure.
+	TablesFactored
+)
+
+// DenseNodeLimit is the TablesAuto crossover: grids at or below this node
+// count precompute dense node×node tables (fastest per send, O(N²)
+// memory — every committed figure runs far below the limit), larger
+// grids use the factored representation. 512 nodes puts the dense tables
+// at a few MB, well under any modern cache-of-consequence while still
+// covering the paper's 189-node deployments with headroom.
+const DenseNodeLimit = 512
+
+// clusterPairLimit bounds the precomputed cluster-pair matrix of factored
+// networks: up to this many C² entries the one-way delays are cached (2 MB
+// at the limit); beyond it the network keeps the cluster model and derives
+// each delay per send. Without this tier the factored tables would turn
+// quadratic again on fine-grained grids — 10⁵ nodes in 10-node clusters is
+// 10⁸ pair entries. A var, not a const, so tests can lower the crossover
+// and compare both representations on small grids.
+var clusterPairLimit = 1 << 18
 
 // New builds a network over sim using grid latencies.
 func New(sim *des.Simulator, grid gridModel, opts Options) *Network {
@@ -200,11 +276,49 @@ func newNetwork(grid gridModel, opts Options) *Network {
 		grid:    grid,
 		opts:    opts,
 		nodes:   nodes,
-		oneWay:  make([]des.Time, nodes*nodes),
-		sameCl:  make([]bool, nodes*nodes),
 		jittery: opts.Jitter > 0,
 		lossy:   opts.Loss > 0,
 	}
+	cm, clustered := grid.(clusterModel)
+	switch opts.Tables {
+	case TablesFactored:
+		if !clustered {
+			panic("simnet: TablesFactored needs a grid exposing cluster structure (NumClusters/ClusterOf/RTT)")
+		}
+		n.factored = true
+	case TablesAuto:
+		n.factored = clustered && nodes > DenseNodeLimit
+	case TablesDense:
+	default:
+		panic(fmt.Sprintf("simnet: unknown table mode %d", opts.Tables))
+	}
+	if n.factored {
+		// O(N) node→cluster index plus O(C²) cluster-pair one-way delays.
+		// The entries are the same divisions the dense path performs per
+		// node pair — RTT/2 — so both modes schedule identical instants.
+		// When even the pair matrix would dominate memory, skip it and
+		// keep the model itself: delays derive per send.
+		c := cm.NumClusters()
+		n.clC = c
+		n.clOf = make([]int32, nodes)
+		for i := 0; i < nodes; i++ {
+			n.clOf[i] = int32(cm.ClusterOf(i))
+		}
+		if c > clusterPairLimit/c { // c*c > limit, overflow-safe
+			n.clModel = cm
+			return n
+		}
+		n.clOneWay = make([]des.Time, c*c)
+		for a := 0; a < c; a++ {
+			row := a * c
+			for b := 0; b < c; b++ {
+				n.clOneWay[row+b] = cm.RTT(a, b) / 2
+			}
+		}
+		return n
+	}
+	n.oneWay = make([]des.Time, nodes*nodes)
+	n.sameCl = make([]bool, nodes*nodes)
 	for f := 0; f < nodes; f++ {
 		row := f * nodes
 		for t := 0; t < nodes; t++ {
@@ -225,7 +339,8 @@ func lpSeed(base int64, i int) int64 {
 }
 
 // growProcs widens the per-process tables to hold at least size IDs,
-// re-striding the FIFO watermark array. Registration happens during
+// re-striding the FIFO watermark array (dense mode) or extending the
+// per-sender watermark maps (factored mode). Registration happens during
 // deployment wiring, so the rebuild never runs on the message hot path.
 func (n *Network) growProcs(size int) {
 	old := len(n.handlers)
@@ -236,6 +351,16 @@ func (n *Network) growProcs(size int) {
 	n.sinks = append(n.sinks, make([]*sink, size-old)...)
 	for i := old; i < size; i++ {
 		n.nodeOf = append(n.nodeOf, -1)
+	}
+	if n.factored {
+		// Sparse watermarks: one map per sender, entries appear only for
+		// links that carry traffic. Allocating the (empty) maps here keeps
+		// the send path free of nil checks and lazy construction.
+		n.lastTo = append(n.lastTo, make([]map[mutex.ID]des.Time, size-old)...)
+		for i := old; i < size; i++ {
+			n.lastTo[i] = make(map[mutex.ID]des.Time)
+		}
+		return
 	}
 	last := make([]des.Time, size*size)
 	for i := range last {
@@ -438,8 +563,22 @@ func (n *Network) send(from, to mutex.ID, m mutex.Message) {
 		return
 	}
 	srcLP := n.lpOfNode[fromNode]
-	pair := int(fromNode)*n.nodes + int(toNode)
-	n.shards[srcLP].note(m, n.sameCl[pair], n.opts.KindCounts)
+	var sameCl bool
+	var delay des.Time
+	if n.factored {
+		ca, cb := n.clOf[fromNode], n.clOf[toNode]
+		sameCl = ca == cb
+		if n.clModel != nil {
+			delay = n.clModel.RTT(int(ca), int(cb)) / 2
+		} else {
+			delay = n.clOneWay[int(ca)*n.clC+int(cb)]
+		}
+	} else {
+		pair := int(fromNode)*n.nodes + int(toNode)
+		sameCl = n.sameCl[pair]
+		delay = n.oneWay[pair]
+	}
+	n.shards[srcLP].note(m, sameCl, n.opts.KindCounts)
 	if t := n.tracers[srcLP]; t != nil {
 		t.Record(trace.Send, from, to, m.Kind())
 	}
@@ -447,19 +586,26 @@ func (n *Network) send(from, to mutex.ID, m mutex.Message) {
 		n.shards[srcLP].Dropped++
 		return
 	}
-	delay := n.oneWay[pair]
 	if n.jittery {
 		delay = time.Duration(float64(delay) * (1 + n.opts.Jitter*n.rngs[srcLP].Float64()))
 	}
 	at := n.sims[srcLP].Now() + delay
 	// FIFO per ordered pair: never deliver before an earlier message on
-	// the same link. The watermark is -1 on untouched links, below any
-	// schedulable instant.
-	link := int(from)*procs + int(to)
-	if last := n.lastAt[link]; at <= last {
-		at = last + time.Nanosecond
+	// the same link. Dense watermarks are -1 on untouched links, below
+	// any schedulable instant; sparse watermarks simply have no entry —
+	// both paths bump identically on links that have carried a message.
+	if n.factored {
+		if last, ok := n.lastTo[from][to]; ok && at <= last {
+			at = last + time.Nanosecond
+		}
+		n.lastTo[from][to] = at
+	} else {
+		link := int(from)*procs + int(to)
+		if last := n.lastAt[link]; at <= last {
+			at = last + time.Nanosecond
+		}
+		n.lastAt[link] = at
 	}
-	n.lastAt[link] = at
 	s := n.sinks[to]
 	if s.lp != srcLP {
 		// Crossing LPs: buffer on the scheduler, which injects the

@@ -554,6 +554,226 @@ func TestLPTracers(t *testing.T) {
 	}
 }
 
+// runTableStorm drives a deterministic jittered, lossy bounce storm with a
+// mid-run crash and partition window under the given table mode, returning
+// per-node delivery logs and counters. The observable outcome must be
+// independent of the representation — the factored tables' whole contract.
+func runTableStorm(t *testing.T, mode TableMode) ([][]string, Counters) {
+	t.Helper()
+	sim := des.New()
+	g := topology.Uniform(3, 3, 2*time.Millisecond, 20*time.Millisecond)
+	n := New(sim, g, Options{Jitter: 0.3, Seed: 17, Loss: 0.05, Tables: mode})
+	bs := make([]*bouncer, 9)
+	for id := 0; id < 9; id++ {
+		bs[id] = &bouncer{ep: n.Endpoint(mutex.ID(id)), self: mutex.ID(id), now: sim.Now}
+		n.Register(mutex.ID(id), bs[id])
+	}
+	// A co-located coordinator process beyond the topology node count, so
+	// the sparse watermarks cover hierarchical registration too.
+	coord := &bouncer{ep: n.Endpoint(100), self: 100, now: sim.Now}
+	n.RegisterAt(100, 4, coord)
+	bs[0].ep.Send(1, ping{"a", 30})
+	bs[0].ep.Send(3, ping{"b", 30})
+	bs[8].ep.Send(2, ping{"c", 30})
+	bs[5].ep.Send(100, ping{"d", 30})
+	sim.At(40*time.Millisecond, func() { n.Crash(7) })
+	sim.At(80*time.Millisecond, func() { n.Restart(7) })
+	sim.At(100*time.Millisecond, func() { n.Partition([]int{0, 1, 2}) })
+	sim.At(160*time.Millisecond, func() { n.Heal() })
+	if err := sim.RunCapped(50_000); err != nil {
+		t.Fatal(err)
+	}
+	logs := make([][]string, 0, 10)
+	for _, b := range bs {
+		logs = append(logs, b.log)
+	}
+	return append(logs, coord.log), n.Counters()
+}
+
+// TestFactoredMatchesDense is the byte-identity half of the grid-scale
+// memory work (DESIGN.md §14): forcing the O(C²+N) factored tables must
+// reproduce the dense run event for event — same delivery instants, same
+// loss draws, same crash/partition classification, same counters.
+func TestFactoredMatchesDense(t *testing.T) {
+	denseLogs, denseC := runTableStorm(t, TablesDense)
+	total := 0
+	for _, l := range denseLogs {
+		total += len(l)
+	}
+	if total == 0 {
+		t.Fatal("storm delivered nothing")
+	}
+	factLogs, factC := runTableStorm(t, TablesFactored)
+	if fmt.Sprintf("%+v", factC) != fmt.Sprintf("%+v", denseC) {
+		t.Fatalf("counters diverge:\nfactored %+v\ndense    %+v", factC, denseC)
+	}
+	for node := range denseLogs {
+		if len(factLogs[node]) != len(denseLogs[node]) {
+			t.Fatalf("node %d: %d deliveries factored, %d dense", node, len(factLogs[node]), len(denseLogs[node]))
+		}
+		for i := range denseLogs[node] {
+			if factLogs[node][i] != denseLogs[node][i] {
+				t.Fatalf("node %d delivery %d: %q factored, %q dense", node, i, factLogs[node][i], denseLogs[node][i])
+			}
+		}
+	}
+}
+
+// TestFactoredDirectMatchesMatrix is the byte-identity proof of the third
+// table tier: when the cluster-pair matrix itself is too large to cache
+// (clusterPairLimit), the factored network derives each delay from the
+// cluster model per send — and the storm must reproduce the matrix-backed
+// run event for event. The limit is lowered so a small grid exercises the
+// direct path.
+func TestFactoredDirectMatchesMatrix(t *testing.T) {
+	matrixLogs, matrixC := runTableStorm(t, TablesFactored)
+	old := clusterPairLimit
+	clusterPairLimit = 1 // any C > 1 goes matrix-free
+	defer func() { clusterPairLimit = old }()
+	directLogs, directC := runTableStorm(t, TablesFactored)
+	if fmt.Sprintf("%+v", directC) != fmt.Sprintf("%+v", matrixC) {
+		t.Fatalf("counters diverge:\ndirect %+v\nmatrix %+v", directC, matrixC)
+	}
+	for node := range matrixLogs {
+		if len(directLogs[node]) != len(matrixLogs[node]) {
+			t.Fatalf("node %d: %d deliveries direct, %d matrix", node, len(directLogs[node]), len(matrixLogs[node]))
+		}
+		for i := range matrixLogs[node] {
+			if directLogs[node][i] != matrixLogs[node][i] {
+				t.Fatalf("node %d delivery %d: %q direct, %q matrix", node, i, directLogs[node][i], matrixLogs[node][i])
+			}
+		}
+	}
+	// And the representation really was matrix-free.
+	n := New(des.New(), topology.Uniform(3, 3, time.Millisecond, 10*time.Millisecond), Options{Tables: TablesFactored})
+	if n.clModel == nil || len(n.clOneWay) != 0 {
+		t.Errorf("limit %d: clModel=%v with %d matrix entries, want direct mode", clusterPairLimit, n.clModel != nil, len(n.clOneWay))
+	}
+}
+
+// TestTablesAutoThreshold pins the auto selection: at or below
+// DenseNodeLimit nodes the network keeps dense tables, above it the
+// factored representation takes over, and grids without cluster structure
+// stay dense at any size.
+func TestTablesAutoThreshold(t *testing.T) {
+	small := New(des.New(), topology.Uniform(2, 2, time.Millisecond, 10*time.Millisecond), Options{})
+	if small.factored {
+		t.Error("small grid selected factored tables")
+	}
+	big := New(des.New(), topology.Uniform(40, 16, time.Millisecond, 10*time.Millisecond), Options{})
+	if !big.factored {
+		t.Error("640-node grid kept dense tables")
+	}
+	if got := len(big.oneWay); got != 0 {
+		t.Errorf("factored network materialized %d dense entries", got)
+	}
+	if got := len(big.clOneWay); got != 40*40 {
+		t.Errorf("factored matrix has %d entries, want 1600", got)
+	}
+	// A synthetic gridModel without cluster accessors cannot factor.
+	flat := New(des.New(), flatModel{n: DenseNodeLimit + 1}, Options{})
+	if flat.factored {
+		t.Error("cluster-less grid selected factored tables")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("TablesFactored on a cluster-less grid did not panic")
+		}
+	}()
+	New(des.New(), flatModel{n: 4}, Options{Tables: TablesFactored})
+}
+
+// flatModel is a gridModel with no cluster structure.
+type flatModel struct{ n int }
+
+func (f flatModel) NumNodes() int                     { return f.n }
+func (f flatModel) OneWay(from, to int) time.Duration { return time.Millisecond }
+func (f flatModel) SameCluster(a, b int) bool         { return true }
+
+// TestFactoredSendDeliverAllocs pins the factored hot path: after the
+// sparse watermark entries for the active links exist, steady-state
+// send→deliver stays at <= 1 allocation per message, same as dense.
+func TestFactoredSendDeliverAllocs(t *testing.T) {
+	sim := des.New()
+	g := topology.Uniform(2, 2, 2*time.Millisecond, 20*time.Millisecond)
+	n := New(sim, g, Options{Jitter: 0.2, Seed: 3, Tables: TablesFactored})
+	for id := mutex.ID(0); id < 4; id++ {
+		n.Register(id, HandlerFunc(func(mutex.ID, mutex.Message) {}))
+	}
+	ep := n.Endpoint(0)
+	msg := mutex.Message(ping{"p", 16})
+	for i := 0; i < 256; i++ {
+		ep.Send(mutex.ID(i%4), msg)
+	}
+	sim.Run()
+	const batch = 256
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < batch; i++ {
+			ep.Send(mutex.ID(i%4), msg)
+		}
+		sim.Run()
+	})
+	if perMsg := allocs / batch; perMsg > 1 {
+		t.Errorf("factored send→deliver allocates %.2f objects per message, want <= 1", perMsg)
+	}
+}
+
+// TestLPFactoredEquivalence: the factored tables compose with the window
+// scheduler — per-sender watermark maps are written only on the sender's
+// LP — and remain byte-identical across worker counts.
+func TestLPFactoredEquivalence(t *testing.T) {
+	run := func(workers int) ([][]string, Counters) {
+		t.Helper()
+		g := topology.Uniform(2, 2, 2*time.Millisecond, 20*time.Millisecond)
+		lookahead, _ := g.MinInterOneWay()
+		win := des.NewWindows(g.NumClusters(), lookahead, workers)
+		n := NewLP(win, g, g.ClusterOf, Options{Jitter: 0.3, Seed: 42, Tables: TablesFactored})
+		bs := make([]*bouncer, 4)
+		for id := 0; id < 4; id++ {
+			bs[id] = &bouncer{ep: n.Endpoint(mutex.ID(id)), self: mutex.ID(id), now: win.LP(g.ClusterOf(id)).Now}
+			n.Register(mutex.ID(id), bs[id])
+		}
+		bs[0].ep.Send(1, ping{"a", 20})
+		bs[0].ep.Send(2, ping{"b", 20})
+		bs[3].ep.Send(1, ping{"c", 20})
+		if err := win.RunCapped(10_000); err != nil {
+			t.Fatal(err)
+		}
+		logs := make([][]string, 4)
+		for i, b := range bs {
+			logs[i] = b.log
+		}
+		return logs, n.Counters()
+	}
+	serialLogs, serialC := run(1)
+	// The factored LP run must also match the dense LP run (same seed):
+	// runLPBounce uses default tables on an identical model.
+	denseLogs, denseC := runLPBounce(t, 1)
+	if fmt.Sprintf("%+v", serialC) != fmt.Sprintf("%+v", denseC) {
+		t.Fatalf("factored LP counters %+v, dense %+v", serialC, denseC)
+	}
+	for node := range denseLogs {
+		for i := range denseLogs[node] {
+			if serialLogs[node][i] != denseLogs[node][i] {
+				t.Fatalf("node %d delivery %d: %q factored, %q dense", node, i, serialLogs[node][i], denseLogs[node][i])
+			}
+		}
+	}
+	for _, workers := range []int{2, 4} {
+		logs, c := run(workers)
+		if fmt.Sprintf("%+v", c) != fmt.Sprintf("%+v", serialC) {
+			t.Fatalf("workers=%d: counters %+v, want %+v", workers, c, serialC)
+		}
+		for node := range serialLogs {
+			for i := range serialLogs[node] {
+				if logs[node][i] != serialLogs[node][i] {
+					t.Fatalf("workers=%d node %d delivery %d diverges", workers, node, i)
+				}
+			}
+		}
+	}
+}
+
 // TestNewLPValidation: the LP constructor rejects configurations whose
 // semantics would be undefined under sharding.
 func TestNewLPValidation(t *testing.T) {

@@ -23,6 +23,11 @@ type Grid struct {
 	cluster []int // node -> cluster
 	rtt     [][]time.Duration
 	total   int
+	// tree, when non-nil, replaces the materialized tables above: names,
+	// cluster membership and latencies derive arithmetically from the
+	// hierarchical spec (see NewTree), costing O(levels) memory however
+	// many clusters the fan-out product yields.
+	tree *treeModel
 }
 
 // New builds a grid from cluster names, per-cluster node counts and a
@@ -70,22 +75,50 @@ func New(names []string, sizes []int, rtt [][]time.Duration) (*Grid, error) {
 }
 
 // NumClusters returns the number of clusters in the grid.
-func (g *Grid) NumClusters() int { return len(g.names) }
+func (g *Grid) NumClusters() int {
+	if g.tree != nil {
+		return g.tree.clusters
+	}
+	return len(g.names)
+}
 
 // NumNodes returns the total number of nodes across all clusters.
 func (g *Grid) NumNodes() int { return g.total }
 
 // ClusterName returns the name of cluster c.
-func (g *Grid) ClusterName(c int) string { return g.names[c] }
+func (g *Grid) ClusterName(c int) string {
+	if g.tree != nil {
+		return g.tree.clusterName(c)
+	}
+	return g.names[c]
+}
 
 // ClusterSize returns the number of nodes in cluster c.
-func (g *Grid) ClusterSize(c int) int { return g.sizes[c] }
+func (g *Grid) ClusterSize(c int) int {
+	if g.tree != nil {
+		return g.tree.spec.LeafSize
+	}
+	return g.sizes[c]
+}
 
 // ClusterOf returns the cluster owning global node index n.
-func (g *Grid) ClusterOf(n int) int { return g.cluster[n] }
+func (g *Grid) ClusterOf(n int) int {
+	if g.tree != nil {
+		return n / g.tree.spec.LeafSize
+	}
+	return g.cluster[n]
+}
 
 // NodesIn returns the global node indices of cluster c in ascending order.
 func (g *Grid) NodesIn(c int) []int {
+	if g.tree != nil {
+		size := g.tree.spec.LeafSize
+		out := make([]int, size)
+		for i := range out {
+			out[i] = c*size + i
+		}
+		return out
+	}
 	out := make([]int, g.sizes[c])
 	for i := range out {
 		out[i] = g.firsts[c] + i
@@ -95,16 +128,21 @@ func (g *Grid) NodesIn(c int) []int {
 
 // RTT returns the round-trip latency between clusters a and b as measured
 // from a.
-func (g *Grid) RTT(a, b int) time.Duration { return g.rtt[a][b] }
+func (g *Grid) RTT(a, b int) time.Duration {
+	if g.tree != nil {
+		return g.tree.rtt(a, b)
+	}
+	return g.rtt[a][b]
+}
 
 // OneWay returns the modeled one-way message delay between two global node
 // indices: half the RTT between their clusters.
 func (g *Grid) OneWay(from, to int) time.Duration {
-	return g.rtt[g.cluster[from]][g.cluster[to]] / 2
+	return g.RTT(g.ClusterOf(from), g.ClusterOf(to)) / 2
 }
 
 // SameCluster reports whether two global node indices live in one cluster.
-func (g *Grid) SameCluster(a, b int) bool { return g.cluster[a] == g.cluster[b] }
+func (g *Grid) SameCluster(a, b int) bool { return g.ClusterOf(a) == g.ClusterOf(b) }
 
 // MinInterOneWay returns the smallest one-way delay between nodes in
 // different clusters — the lookahead of a conservative parallel
@@ -114,6 +152,12 @@ func (g *Grid) SameCluster(a, b int) bool { return g.cluster[a] == g.cluster[b] 
 // cluster pair communicates instantly, leaving a window scheduler no
 // concurrency to exploit; callers must then fall back to serial execution.
 func (g *Grid) MinInterOneWay() (time.Duration, bool) {
+	if g.tree != nil {
+		// Trees always have >= 2 clusters (fan-outs are >= 2) and the
+		// smallest inter-cluster RTT is the smallest level RTT — an
+		// O(levels) scan instead of the O(C²) pair sweep below.
+		return g.tree.minLevelRTT() / 2, true
+	}
 	n := len(g.names)
 	if n < 2 {
 		return 0, false

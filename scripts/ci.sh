@@ -71,6 +71,19 @@ go run ./cmd/benchcmp -baseline BENCH_8.json -fresh "$bench8_tmp"
 go run ./cmd/gridbench -experiment fig4a -scale quick -lps 1 -json "$bench8_tmp" -q >/dev/null
 go run ./cmd/benchcmp -baseline BENCH_8.json -fresh "$bench8_tmp"
 
+echo "==> memory guard: grid-scale sweep vs committed BENCH_10.json"
+# BENCH_10.json is the committed grid-scale record (DESIGN.md §14): a
+# k-level hierarchy swept over N = 100 .. 100,000 processes. benchcmp
+# holds the fresh run to three properties — the deterministic sweep
+# figure byte for byte, throughput above the machine-scaled floor, and
+# bytes-per-process at every N under a ceiling (BENCHCMP_MEM_TOLERANCE)
+# so a reintroduced O(N) or O(C^2) term in the simulator's per-process
+# state fails CI long before it would fail a real deployment.
+bench10_tmp="$(mktemp -t bench10.XXXXXX.json)"
+trap 'rm -f "$bench_tmp" "$bench8_tmp" "$bench10_tmp"' EXIT
+go run ./cmd/gridbench -experiment gridscale -scale paper -json "$bench10_tmp" -q >/dev/null
+go run ./cmd/benchcmp -baseline BENCH_10.json -fresh "$bench10_tmp"
+
 echo "==> scenario conformance corpus (parallel sweep under -race, JSON verdicts archived)"
 # The declarative acceptance suite (DESIGN.md §11): every fixture under
 # testdata/scenarios/ must produce a passing verdict, swept in parallel so
